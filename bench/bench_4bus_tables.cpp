@@ -1,0 +1,106 @@
+// Reproduces the paper's Section IV-B motivating example on the 4-bus
+// system of Fig. 3: Table II (pre-perturbation operating point), Table I
+// (BDD residuals of two stealthy attacks under four single-line MTD
+// perturbations) and Table III (post-perturbation dispatch and OPF cost).
+
+#include <benchmark/benchmark.h>
+
+#include "attack/fdi_attack.hpp"
+#include "bench_util.hpp"
+#include "estimation/state_estimator.hpp"
+#include "grid/cases.hpp"
+#include "grid/measurement.hpp"
+#include "mtd/spa.hpp"
+#include "opf/dc_opf.hpp"
+
+namespace {
+
+using namespace mtdgrid;
+
+void run_tables() {
+  const grid::PowerSystem sys = grid::make_case4();
+  const linalg::Matrix h0 = grid::measurement_matrix(sys);
+  const opf::DispatchResult base = opf::solve_dc_opf(sys);
+
+  bench::print_header(
+      "Table II — pre-perturbation operating point (4-bus system)",
+      "Paper: flows (126.56, 173.44, -43.44, -26.56) MW, dispatch "
+      "(350, 150) MW, cost $1.15e4.");
+  std::printf("  %-8s %10s\n", "line", "flow (MW)");
+  for (std::size_t l = 0; l < 4; ++l)
+    std::printf("  line %zu  %10.2f\n", l + 1, base.flows_mw[l]);
+  std::printf("  dispatch: G1 = %.2f MW, G2 = %.2f MW\n",
+              base.generation_mw[0], base.generation_mw[1]);
+  std::printf("  OPF cost: $%.2f\n", base.cost);
+
+  // Paper attacks: c = [0,1,1,1] and c = [0,0,0,1] (bus 1 is the slack, so
+  // the reduced vectors drop the leading zero).
+  const attack::FdiAttack attack1 =
+      attack::make_stealthy_attack(h0, linalg::Vector{1.0, 1.0, 1.0});
+  const attack::FdiAttack attack2 =
+      attack::make_stealthy_attack(h0, linalg::Vector{0.0, 0.0, 1.0});
+
+  bench::print_header(
+      "Table I — noiseless BDD residuals under single-line MTD (eta = 0.2)",
+      "Paper pattern: attack 1 detected only by Dx1/Dx2 (residuals "
+      "2.82/2.87 at their attack scaling),\nattack 2 only by Dx3/Dx4. A "
+      "zero residual means the attack stays stealthy after the MTD.");
+  std::printf("  %-10s %12s %12s %14s\n", "MTD", "r'(attack1)", "r'(attack2)",
+              "gamma(H,H')");
+  for (std::size_t line = 0; line < 4; ++line) {
+    linalg::Vector x = sys.reactances();
+    x[line] *= 1.2;
+    const linalg::Matrix hp = grid::measurement_matrix(sys, x);
+    const estimation::StateEstimator est(hp, 1.0);
+    std::printf("  Delta-x%zu  %12.4f %12.4f %14.4f\n", line + 1,
+                est.attack_residual_norm(attack1.a),
+                est.attack_residual_norm(attack2.a), mtd::spa(h0, hp));
+  }
+
+  bench::print_header(
+      "Table III — post-perturbation dispatch and OPF cost",
+      "Paper: every Delta-x raises the cost above the $1.15e4 baseline; "
+      "Delta-x3 is cheapest.");
+  std::printf("  %-10s %10s %10s %14s %12s\n", "MTD", "G1 (MW)", "G2 (MW)",
+              "OPF cost ($)", "increase");
+  for (std::size_t line = 0; line < 4; ++line) {
+    linalg::Vector x = sys.reactances();
+    x[line] *= 1.2;
+    const opf::DispatchResult r = opf::solve_dc_opf(sys, x);
+    std::printf("  Delta-x%zu  %10.2f %10.2f %14.2f %11.3f%%\n", line + 1,
+                r.generation_mw[0], r.generation_mw[1], r.cost,
+                100.0 * (r.cost - base.cost) / base.cost);
+  }
+  std::printf("\n");
+}
+
+void BM_Case4Opf(benchmark::State& state) {
+  const grid::PowerSystem sys = grid::make_case4();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opf::solve_dc_opf(sys));
+  }
+}
+BENCHMARK(BM_Case4Opf);
+
+void BM_Case4ResidualEvaluation(benchmark::State& state) {
+  const grid::PowerSystem sys = grid::make_case4();
+  const linalg::Matrix h0 = grid::measurement_matrix(sys);
+  linalg::Vector x = sys.reactances();
+  x[0] *= 1.2;
+  const estimation::StateEstimator est(grid::measurement_matrix(sys, x), 1.0);
+  const attack::FdiAttack atk =
+      attack::make_stealthy_attack(h0, linalg::Vector{1.0, 1.0, 1.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.attack_residual_norm(atk.a));
+  }
+}
+BENCHMARK(BM_Case4ResidualEvaluation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

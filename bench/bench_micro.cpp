@@ -1,0 +1,157 @@
+// Microbenchmarks of the core kernels every experiment is built from:
+// measurement-matrix assembly, DC power flow, the dispatch LP, the WLS
+// estimator, SPA computation, and the full attack-detection path. Useful
+// for sizing the Monte-Carlo budgets and search budgets in the harness.
+
+#include <benchmark/benchmark.h>
+
+#include "attack/fdi_attack.hpp"
+#include "estimation/bdd.hpp"
+#include "estimation/detection.hpp"
+#include "estimation/state_estimator.hpp"
+#include "grid/cases.hpp"
+#include "grid/measurement.hpp"
+#include "grid/power_flow.hpp"
+#include "linalg/svd.hpp"
+#include "mtd/spa.hpp"
+#include "opf/dc_opf.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace mtdgrid;
+
+grid::PowerSystem system_for(int id) {
+  switch (id) {
+    case 0: return grid::make_case4();
+    case 1: return grid::make_case_wscc9();
+    case 2: return grid::make_case_ieee14();
+    default: return grid::make_case_ieee30();
+  }
+}
+
+const char* system_name(int id) {
+  switch (id) {
+    case 0: return "case4";
+    case 1: return "wscc9";
+    case 2: return "ieee14";
+    default: return "ieee30";
+  }
+}
+
+void BM_MeasurementMatrix(benchmark::State& state) {
+  const grid::PowerSystem sys = system_for(static_cast<int>(state.range(0)));
+  const linalg::Vector x = sys.reactances();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid::measurement_matrix(sys, x));
+  }
+  state.SetLabel(system_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_MeasurementMatrix)->DenseRange(0, 3);
+
+void BM_DcPowerFlow(benchmark::State& state) {
+  const grid::PowerSystem sys = system_for(static_cast<int>(state.range(0)));
+  linalg::Vector injections(sys.num_buses());
+  for (std::size_t i = 0; i < sys.num_buses(); ++i)
+    injections[i] = -sys.bus(i).load_mw;
+  injections[0] += sys.total_load_mw();
+  const linalg::Vector x = sys.reactances();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid::solve_dc_power_flow(sys, x, injections));
+  }
+  state.SetLabel(system_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_DcPowerFlow)->DenseRange(0, 3);
+
+void BM_DispatchLp(benchmark::State& state) {
+  const grid::PowerSystem sys = system_for(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opf::solve_dc_opf(sys));
+  }
+  state.SetLabel(system_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_DispatchLp)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+
+void BM_EstimatorConstruction(benchmark::State& state) {
+  const grid::PowerSystem sys = system_for(static_cast<int>(state.range(0)));
+  const linalg::Matrix h = grid::measurement_matrix(sys);
+  for (auto _ : state) {
+    estimation::StateEstimator est(h, 1.0);
+    benchmark::DoNotOptimize(est);
+  }
+  state.SetLabel(system_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_EstimatorConstruction)->DenseRange(0, 3);
+
+void BM_WlsEstimate(benchmark::State& state) {
+  const grid::PowerSystem sys = grid::make_case_ieee14();
+  const linalg::Matrix h = grid::measurement_matrix(sys);
+  const estimation::StateEstimator est(h, 1.0);
+  stats::Rng rng(1);
+  linalg::Vector z(h.rows());
+  for (std::size_t i = 0; i < z.size(); ++i) z[i] = rng.gaussian(0.0, 10.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.estimate(z));
+  }
+}
+BENCHMARK(BM_WlsEstimate);
+
+void BM_ResidualNorm(benchmark::State& state) {
+  const grid::PowerSystem sys = grid::make_case_ieee14();
+  const linalg::Matrix h = grid::measurement_matrix(sys);
+  const estimation::StateEstimator est(h, 1.0);
+  stats::Rng rng(2);
+  linalg::Vector z(h.rows());
+  for (std::size_t i = 0; i < z.size(); ++i) z[i] = rng.gaussian(0.0, 10.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.normalized_residual_norm(z));
+  }
+}
+BENCHMARK(BM_ResidualNorm);
+
+void BM_Spa(benchmark::State& state) {
+  const grid::PowerSystem sys = system_for(static_cast<int>(state.range(0)));
+  const linalg::Matrix h0 = grid::measurement_matrix(sys);
+  linalg::Vector x = sys.reactances();
+  for (std::size_t l : sys.dfacts_branches()) x[l] *= 1.3;
+  const linalg::Matrix h1 = grid::measurement_matrix(sys, x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mtd::spa(h0, h1));
+  }
+  state.SetLabel(system_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_Spa)->DenseRange(0, 3);
+
+void BM_AnalyticDetectionProbability(benchmark::State& state) {
+  const grid::PowerSystem sys = grid::make_case_ieee14();
+  const linalg::Matrix h0 = grid::measurement_matrix(sys);
+  linalg::Vector x = sys.reactances();
+  for (std::size_t l : sys.dfacts_branches()) x[l] *= 1.3;
+  const estimation::StateEstimator est(grid::measurement_matrix(sys, x),
+                                       0.1);
+  const estimation::BadDataDetector bdd(est, 5e-4);
+  stats::Rng rng(3);
+  const attack::FdiAttack atk = attack::random_stealthy_attack(
+      h0, linalg::Vector(h0.rows(), 25.0), 0.08, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        estimation::analytic_detection_probability(est, bdd, atk.a));
+  }
+}
+BENCHMARK(BM_AnalyticDetectionProbability);
+
+void BM_JacobiSvd(benchmark::State& state) {
+  stats::Rng rng(4);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  linalg::Matrix a(2 * n, n);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) a(i, j) = rng.gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::SvdDecomposition(a));
+  }
+}
+BENCHMARK(BM_JacobiSvd)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+#pragma once
+
+// Shared helpers for the experiment harness binaries. Each binary prints
+// the rows/series of one paper table or figure, then runs a small set of
+// google-benchmark kernels for the code paths that experiment exercises.
+//
+// Environment knobs:
+//   MTDGRID_BENCH_FAST=1   shrink Monte-Carlo counts and search budgets
+//                          (smoke-test mode; shapes remain, noise grows)
+//   MTDGRID_BENCH_FULL=1   paper-scale Monte-Carlo (1000 attacks x 1000
+//                          noise draws, Monte-Carlo detection method)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace mtdgrid::bench {
+
+enum class Scale { kFast, kDefault, kFull };
+
+inline Scale scale_from_env() {
+  if (const char* fast = std::getenv("MTDGRID_BENCH_FAST");
+      fast && std::string(fast) == "1")
+    return Scale::kFast;
+  if (const char* full = std::getenv("MTDGRID_BENCH_FULL");
+      full && std::string(full) == "1")
+    return Scale::kFull;
+  return Scale::kDefault;
+}
+
+inline int attacks_for(Scale s) {
+  switch (s) {
+    case Scale::kFast: return 150;
+    case Scale::kDefault: return 500;
+    case Scale::kFull: return 1000;
+  }
+  return 500;
+}
+
+inline int search_evals_for(Scale s) {
+  switch (s) {
+    case Scale::kFast: return 500;
+    case Scale::kDefault: return 1200;
+    case Scale::kFull: return 2500;
+  }
+  return 1200;
+}
+
+inline int extra_starts_for(Scale s) {
+  switch (s) {
+    case Scale::kFast: return 2;
+    case Scale::kDefault: return 4;
+    case Scale::kFull: return 8;
+  }
+  return 4;
+}
+
+inline void print_header(const char* experiment, const char* description) {
+  std::printf("\n=== %s ===\n%s\n\n", experiment, description);
+}
+
+inline void print_rule() {
+  std::printf("-------------------------------------------------------------"
+              "---------------\n");
+}
+
+}  // namespace mtdgrid::bench

@@ -1,0 +1,107 @@
+// Attack studio: explore FDI attacks from the attacker's side.
+//
+// Demonstrates, on the paper's 4-bus example, how the structure of the
+// attack vector c determines which MTD perturbations can catch it — the
+// mechanism behind the paper's Table I. For every single-bus attack
+// c = e_i and every single-line perturbation, the tool prints whether the
+// attack survives (Proposition 1) and its analytic detection probability,
+// then shows the orthogonality ideal of Theorem 1 on a synthetic example.
+//
+// Usage: attack_studio [eta]   (default reactance perturbation 20%)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "attack/fdi_attack.hpp"
+#include "estimation/bdd.hpp"
+#include "estimation/detection.hpp"
+#include "estimation/state_estimator.hpp"
+#include "grid/cases.hpp"
+#include "grid/measurement.hpp"
+#include "linalg/qr.hpp"
+#include "mtd/spa.hpp"
+#include "stats/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mtdgrid;
+  const double eta = argc > 1 ? std::atof(argv[1]) : 0.2;
+
+  const grid::PowerSystem sys = grid::make_case4();
+  const linalg::Matrix h0 = grid::measurement_matrix(sys);
+  const double sigma = 0.05;
+
+  std::printf("4-bus system, single-line MTD perturbations at eta = %.0f%%\n",
+              100.0 * eta);
+  std::printf("Attack c = e_i injects a fake phase offset at one bus; the "
+              "entries below are\n'S' when the attack remains stealthy "
+              "(Proposition 1) and otherwise the analytic\ndetection "
+              "probability P'_D(a).\n\n");
+
+  std::printf("  %-12s", "attack \\ MTD");
+  for (std::size_t line = 0; line < sys.num_branches(); ++line)
+    std::printf("  Delta-x%zu", line + 1);
+  std::printf("\n");
+
+  for (std::size_t bus = 0; bus < sys.num_buses() - 1; ++bus) {
+    linalg::Vector c(sys.num_buses() - 1);
+    c[bus] = 0.05;  // 0.05 rad fake offset at bus (bus+2) in 1-based terms
+    const attack::FdiAttack atk = attack::make_stealthy_attack(h0, c);
+    std::printf("  c = e_%zu     ", bus + 2);
+    for (std::size_t line = 0; line < sys.num_branches(); ++line) {
+      linalg::Vector x = sys.reactances();
+      x[line] *= (1.0 + eta);
+      const linalg::Matrix hp = grid::measurement_matrix(sys, x);
+      if (attack::remains_stealthy_under(hp, atk)) {
+        std::printf("  %8s", "S");
+      } else {
+        const estimation::StateEstimator est(hp, sigma);
+        const estimation::BadDataDetector bdd(est, 5e-4);
+        std::printf("  %8.3f",
+                    estimation::analytic_detection_probability(est, bdd,
+                                                               atk.a));
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nReading the table: a perturbation on line l only exposes "
+              "attacks whose phase\noffsets differ across line l's "
+              "endpoints — no single line covers every bus, so\nno "
+              "single-line MTD catches all attacks (the paper's Section "
+              "IV-B conclusion).\n\n");
+
+  // Theorem 1 showcase: a synthetic orthogonal-complement MTD detects
+  // everything with the maximum possible probability.
+  std::printf("Theorem 1 showcase (synthetic): an MTD whose column space "
+              "is the orthogonal\ncomplement of Col(H) admits no stealthy "
+              "attacks:\n");
+  const linalg::Matrix q = linalg::orthonormal_column_basis(h0);
+  stats::Rng rng(5);
+  linalg::Matrix h_perp(h0.rows(), h0.cols());
+  for (std::size_t j = 0; j < h_perp.cols(); ++j) {
+    linalg::Vector v(h0.rows());
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = rng.gaussian();
+    v -= q * q.transpose_times(v);
+    h_perp.set_col(j, v * 40.0);
+  }
+  std::printf("  gamma(H, H_perp) = %.4f rad (pi/2 = %.4f)\n",
+              mtd::spa(h0, h_perp), 3.14159265 / 2);
+  const estimation::StateEstimator est_perp(h_perp, sigma);
+  const estimation::BadDataDetector bdd_perp(est_perp, 5e-4);
+  int stealthy = 0;
+  double min_pd = 1.0;
+  for (int t = 0; t < 200; ++t) {
+    const attack::FdiAttack atk = attack::random_stealthy_attack(
+        h0, linalg::Vector(h0.rows(), 50.0), 0.08, rng);
+    if (attack::remains_stealthy_under(h_perp, atk)) ++stealthy;
+    min_pd = std::min(min_pd, estimation::analytic_detection_probability(
+                                  est_perp, bdd_perp, atk.a));
+  }
+  std::printf("  stealthy survivors out of 200 random attacks: %d\n",
+              stealthy);
+  std::printf("  minimum detection probability: %.4f\n", min_pd);
+  std::printf("\n(Such an H' is not realizable with D-FACTS devices — the "
+              "paper's heuristic\nSPA criterion exists precisely to "
+              "approach this ideal within device limits.)\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Keyspace audit: why random MTD perturbations are not enough.
+//
+// Prior work implements MTD by drawing random reactance perturbations from
+// a "keyspace" (e.g. within +/-2% of nominal). This tool audits such a
+// keyspace on any of the bundled benchmark systems: it draws N members,
+// evaluates each one's effectiveness against attacks crafted from the
+// current measurement matrix, and reports the distribution — then contrasts
+// it with a single SPA-designed perturbation at the same device limits.
+//
+// Usage: keyspace_audit [case4|wscc9|ieee14|ieee30] [keyspace_size]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "grid/cases.hpp"
+#include "grid/measurement.hpp"
+#include "grid/power_flow.hpp"
+#include "mtd/effectiveness.hpp"
+#include "mtd/random_mtd.hpp"
+#include "mtd/selection.hpp"
+#include "mtd/spa.hpp"
+#include "opf/reactance_opf.hpp"
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mtdgrid;
+
+  const std::string case_name = argc > 1 ? argv[1] : "ieee14";
+  const int keyspace_size = argc > 2 ? std::atoi(argv[2]) : 200;
+
+  grid::PowerSystem sys = [&] {
+    if (case_name == "case4") return grid::make_case4();
+    if (case_name == "wscc9") return grid::make_case_wscc9();
+    if (case_name == "ieee30") return grid::make_case_ieee30();
+    return grid::make_case_ieee14();
+  }();
+
+  stats::Rng rng(99);
+  const opf::DispatchResult base = opf::solve_dc_opf(sys);
+  if (!base.feasible) {
+    std::fprintf(stderr, "base OPF infeasible\n");
+    return 1;
+  }
+  const linalg::Matrix h0 = grid::measurement_matrix(sys);
+  const linalg::Vector z0 = grid::noiseless_measurements(
+      sys, sys.reactances(), base.theta_reduced);
+
+  mtd::EffectivenessOptions eff;
+  eff.num_attacks = 300;
+  eff.sigma_mw = 0.005;  // high-precision BDD; see EXPERIMENTS.md
+  eff.deltas = {0.5};
+
+  std::printf("Auditing a +/-2%% random keyspace of %d members on %s...\n\n",
+              keyspace_size, sys.name().c_str());
+  std::vector<double> etas;
+  std::vector<double> gammas;
+  for (int k = 0; k < keyspace_size; ++k) {
+    const linalg::Vector x = mtd::random_reactance_perturbation(
+        sys, sys.reactances(), 0.02, rng);
+    const linalg::Matrix hp = grid::measurement_matrix(sys, x);
+    const auto r = mtd::evaluate_effectiveness(h0, hp, z0, eff, rng);
+    etas.push_back(r.eta[0]);
+    gammas.push_back(mtd::spa(h0, hp));
+  }
+
+  const stats::Summary eta_summary = stats::summarize(etas.data(),
+                                                      etas.size());
+  const stats::Summary gamma_summary =
+      stats::summarize(gammas.data(), gammas.size());
+  const auto fraction_above = [&](double level) {
+    return static_cast<double>(
+               std::count_if(etas.begin(), etas.end(),
+                             [&](double e) { return e >= level; })) /
+           etas.size();
+  };
+
+  std::printf("Keyspace eta'(0.5):  mean %.3f  stddev %.3f  min %.3f  "
+              "max %.3f\n",
+              eta_summary.mean, eta_summary.stddev, eta_summary.min,
+              eta_summary.max);
+  std::printf("Keyspace gamma:      mean %.4f rad (max %.4f)\n",
+              gamma_summary.mean, gamma_summary.max);
+  std::printf("Members with eta'(0.5) >= 0.9:  %.1f%%\n",
+              100.0 * fraction_above(0.9));
+  std::printf("Members with eta'(0.5) >= 0.5:  %.1f%%\n\n",
+              100.0 * fraction_above(0.5));
+
+  // The designed alternative at full device range.
+  mtd::MtdSelectionOptions sel;
+  sel.gamma_threshold = 0.25;
+  sel.extra_starts = 4;
+  const mtd::MtdSelectionResult designed =
+      mtd::select_mtd_perturbation(sys, h0, base.cost, sel, rng);
+  const linalg::Vector z_mtd = grid::noiseless_measurements(
+      sys, designed.reactances, designed.dispatch.theta_reduced);
+  const auto designed_eff =
+      mtd::evaluate_effectiveness(h0, designed.h_mtd, z_mtd, eff, rng);
+
+  std::printf("SPA-designed perturbation (gamma_th = 0.25):\n");
+  std::printf("  gamma = %.3f rad, eta'(0.5) = %.3f, cost increase = "
+              "%.3f%%\n",
+              designed.spa, designed_eff.eta[0],
+              100.0 * std::max(0.0, designed.cost_increase));
+  std::printf("\nVerdict: the random keyspace is a lottery (stddev %.3f); "
+              "the designed\nperturbation guarantees its effectiveness "
+              "level by construction.\n",
+              eta_summary.stddev);
+  return 0;
+}

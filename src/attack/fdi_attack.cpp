@@ -1,0 +1,59 @@
+#include "attack/fdi_attack.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "linalg/subspace.hpp"
+
+namespace mtdgrid::attack {
+
+FdiAttack make_stealthy_attack(const linalg::Matrix& h,
+                               const linalg::Vector& c) {
+  assert(c.size() == h.cols());
+  return {c, h * c};
+}
+
+FdiAttack random_stealthy_attack(const linalg::Matrix& h,
+                                 const linalg::Vector& z_ref,
+                                 double relative_magnitude, stats::Rng& rng) {
+  assert(z_ref.size() == h.rows());
+  if (relative_magnitude <= 0.0)
+    throw std::invalid_argument("attack magnitude must be positive");
+  const double z_norm1 = z_ref.norm1();
+  if (z_norm1 <= 0.0)
+    throw std::invalid_argument("reference measurement must be non-zero");
+
+  linalg::Vector c(h.cols());
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = rng.gaussian();
+  linalg::Vector a = h * c;
+  const double a_norm1 = a.norm1();
+  if (a_norm1 == 0.0) {
+    // Degenerate draw (probability zero up to rounding); retry recursively.
+    return random_stealthy_attack(h, z_ref, relative_magnitude, rng);
+  }
+  const double scale = relative_magnitude * z_norm1 / a_norm1;
+  c *= scale;
+  a *= scale;
+  return {std::move(c), std::move(a)};
+}
+
+std::vector<FdiAttack> sample_attacks(const linalg::Matrix& h,
+                                      const linalg::Vector& z_ref,
+                                      double relative_magnitude, int count,
+                                      stats::Rng& rng) {
+  assert(count >= 0);
+  std::vector<FdiAttack> attacks;
+  attacks.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    attacks.push_back(
+        random_stealthy_attack(h, z_ref, relative_magnitude, rng));
+  return attacks;
+}
+
+bool remains_stealthy_under(const linalg::Matrix& h_new, const FdiAttack& atk,
+                            double tol) {
+  return linalg::column_space_contains(h_new, linalg::Matrix::column(atk.a),
+                                       tol);
+}
+
+}  // namespace mtdgrid::attack

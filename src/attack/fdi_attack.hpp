@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "stats/rng.hpp"
+
+namespace mtdgrid::attack {
+
+/// A false-data-injection attack of the stealthy form a = H c (paper
+/// Section III): `c` is the state offset the attacker injects and `a` the
+/// resulting measurement corruption. Such attacks bypass the BDD of the
+/// system whose measurement matrix is H.
+struct FdiAttack {
+  linalg::Vector c;  ///< attacker-chosen state perturbation (dim n)
+  linalg::Vector a;  ///< measurement-space injection a = H c (dim M)
+};
+
+/// Builds the stealthy attack a = H c for an explicit `c`.
+FdiAttack make_stealthy_attack(const linalg::Matrix& h,
+                               const linalg::Vector& c);
+
+/// Draws a random stealthy attack the way the paper's Monte-Carlo study
+/// does: c ~ N(0, I), then scaled so that ||a||_1 / ||z_ref||_1 equals
+/// `relative_magnitude` (0.08 in the paper), keeping injections small
+/// relative to the true measurements.
+FdiAttack random_stealthy_attack(const linalg::Matrix& h,
+                                 const linalg::Vector& z_ref,
+                                 double relative_magnitude, stats::Rng& rng);
+
+/// Draws `count` independent random stealthy attacks.
+std::vector<FdiAttack> sample_attacks(const linalg::Matrix& h,
+                                      const linalg::Vector& z_ref,
+                                      double relative_magnitude, int count,
+                                      stats::Rng& rng);
+
+/// Proposition 1 stealth test: the attack stays undetectable under the new
+/// measurement matrix `h_new` iff a lies in Col(h_new), i.e.
+/// rank(h_new) == rank([h_new | a]).
+bool remains_stealthy_under(const linalg::Matrix& h_new, const FdiAttack& atk,
+                            double tol = 1e-8);
+
+}  // namespace mtdgrid::attack

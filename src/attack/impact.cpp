@@ -1,0 +1,61 @@
+#include "attack/impact.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "grid/power_flow.hpp"
+
+namespace mtdgrid::attack {
+
+AttackImpact evaluate_attack_impact(const grid::PowerSystem& sys,
+                                    const linalg::Vector& x,
+                                    const linalg::Vector& c) {
+  assert(c.size() == sys.num_buses() - 1);
+  AttackImpact impact;
+
+  const opf::DispatchResult truth = opf::solve_dc_opf(sys, x);
+  if (!truth.feasible) return impact;
+  impact.true_opf_cost = truth.cost;
+
+  // The falsified injections implied by the shifted estimate: the attack
+  // adds B_cols * c to every perceived nodal injection, which the operator
+  // reads as a change in load (loads = generation - injections).
+  const linalg::Matrix b_cols =
+      sys.susceptance_matrix(x).without_col(sys.slack_bus());
+  const linalg::Vector injection_shift = b_cols * c;
+
+  grid::PowerSystem falsified = sys;
+  linalg::Vector loads = sys.loads_mw();
+  for (std::size_t i = 0; i < loads.size(); ++i)
+    loads[i] = std::max(0.0, loads[i] - injection_shift[i]);
+  falsified.set_loads_mw(loads);
+
+  const opf::DispatchResult fooled = opf::solve_dc_opf(falsified, x);
+  impact.redispatch_feasible = fooled.feasible;
+  if (!fooled.feasible) return impact;
+
+  // Apply the fooled dispatch to the real system. The real loads do not
+  // balance the fooled generation exactly; the imbalance lands on the
+  // slack bus, as frequency regulation would distribute it in practice.
+  linalg::Vector injections =
+      grid::nodal_injections(sys, fooled.generation_mw);
+  injections[sys.slack_bus()] -= injections.sum();
+  const grid::DcPowerFlowResult flow =
+      grid::solve_dc_power_flow(sys, x, injections);
+
+  impact.attacked_cost = opf::dispatch_cost(sys, fooled.generation_mw);
+  impact.cost_increase =
+      (impact.attacked_cost - impact.true_opf_cost) / impact.true_opf_cost;
+  for (std::size_t l = 0; l < sys.num_branches(); ++l) {
+    const double loading =
+        std::abs(flow.flows_mw[l]) / sys.branch(l).flow_limit_mw;
+    if (loading > 1.0 + 1e-9) {
+      ++impact.overloaded_lines;
+      impact.worst_overload_pct =
+          std::max(impact.worst_overload_pct, 100.0 * (loading - 1.0));
+    }
+  }
+  return impact;
+}
+
+}  // namespace mtdgrid::attack

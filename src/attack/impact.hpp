@@ -1,0 +1,37 @@
+#pragma once
+
+#include "attack/fdi_attack.hpp"
+#include "grid/power_system.hpp"
+#include "opf/dc_opf.hpp"
+
+namespace mtdgrid::attack {
+
+/// Economic/physical impact of an *undetected* FDI attack, in the style of
+/// the load-redistribution analyses the paper cites in its Discussion
+/// (Section VII-D, refs [5], [20]): the MTD's operational cost is the
+/// premium paid to avoid this damage.
+///
+/// Model: the stealthy attack a = Hc shifts the operator's state estimate
+/// by c, so the operator perceives falsified nodal injections
+/// p_false = B (theta + c) and re-dispatches against the implied loads.
+/// The resulting dispatch is applied to the *true* system, where it
+/// produces line overloads and a dispatch cost that differs from the true
+/// optimum.
+struct AttackImpact {
+  bool redispatch_feasible = false;  ///< OPF solved under falsified loads
+  double true_opf_cost = 0.0;        ///< least cost for the real loads
+  double attacked_cost = 0.0;        ///< cost of the falsified dispatch
+  double cost_increase = 0.0;        ///< (attacked - true) / true
+  double worst_overload_pct = 0.0;   ///< max line loading above 100%
+  std::size_t overloaded_lines = 0;  ///< lines pushed beyond their limit
+};
+
+/// Evaluates the impact of the state offset `c` (reduced coordinates,
+/// length N-1) on a system operating at reactances `x`. The operator's
+/// falsified loads are clamped at zero (negative perceived loads are
+/// treated as zero demand).
+AttackImpact evaluate_attack_impact(const grid::PowerSystem& sys,
+                                    const linalg::Vector& x,
+                                    const linalg::Vector& c);
+
+}  // namespace mtdgrid::attack

@@ -1,0 +1,20 @@
+#include "estimation/bdd.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/distributions.hpp"
+
+namespace mtdgrid::estimation {
+
+BadDataDetector::BadDataDetector(const StateEstimator& estimator,
+                                 double fp_rate)
+    : fp_rate_(fp_rate), dof_(estimator.residual_dof()) {
+  if (fp_rate <= 0.0 || fp_rate >= 1.0)
+    throw std::invalid_argument("BDD: fp rate must lie in (0, 1)");
+  const double q = stats::chi_square_quantile(1.0 - fp_rate,
+                                              static_cast<double>(dof_));
+  threshold_ = std::sqrt(q);
+}
+
+}  // namespace mtdgrid::estimation

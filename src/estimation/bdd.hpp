@@ -1,0 +1,44 @@
+#pragma once
+
+#include "estimation/state_estimator.hpp"
+
+namespace mtdgrid::estimation {
+
+/// Bad-data detector (paper Section III): compares the normalized residual
+/// norm against a threshold tau calibrated so that attack-free Gaussian
+/// noise triggers an alarm with probability exactly `fp_rate` (alpha).
+///
+/// Calibration uses the exact chi-square law of the normalized residual:
+/// tau^2 = F_chi2^{-1}(1 - alpha; M - n).
+class BadDataDetector {
+ public:
+  /// Builds the detector for the given estimator and false-positive rate
+  /// alpha in (0, 1).
+  BadDataDetector(const StateEstimator& estimator, double fp_rate);
+
+  /// The detection threshold tau (on the normalized residual norm).
+  double threshold() const { return threshold_; }
+
+  /// The calibrated false-positive rate alpha.
+  double fp_rate() const { return fp_rate_; }
+
+  /// Residual degrees of freedom M - n used in the calibration.
+  std::size_t dof() const { return dof_; }
+
+  /// True when the normalized residual norm raises the alarm (r >= tau).
+  bool alarm(double normalized_residual_norm) const {
+    return normalized_residual_norm >= threshold_;
+  }
+
+  /// Convenience: runs the estimator on `z` and applies the test.
+  bool alarm(const StateEstimator& estimator, const linalg::Vector& z) const {
+    return alarm(estimator.normalized_residual_norm(z));
+  }
+
+ private:
+  double fp_rate_;
+  std::size_t dof_;
+  double threshold_;
+};
+
+}  // namespace mtdgrid::estimation

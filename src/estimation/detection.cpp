@@ -1,0 +1,42 @@
+#include "estimation/detection.hpp"
+
+#include <cassert>
+
+#include "stats/distributions.hpp"
+
+namespace mtdgrid::estimation {
+
+double analytic_detection_probability(const StateEstimator& estimator,
+                                      const BadDataDetector& bdd,
+                                      const linalg::Vector& attack) {
+  assert(attack.size() == estimator.num_measurements());
+  const double ra = estimator.attack_residual_norm(attack);
+  const double lambda = ra * ra;
+  const double tau = bdd.threshold();
+  return stats::noncentral_chi_square_sf(
+      tau * tau, static_cast<double>(bdd.dof()), lambda);
+}
+
+double monte_carlo_detection_probability(const StateEstimator& estimator,
+                                         const BadDataDetector& bdd,
+                                         const linalg::Vector& z_base,
+                                         const linalg::Vector& attack,
+                                         int trials, stats::Rng& rng) {
+  assert(attack.size() == estimator.num_measurements());
+  assert(z_base.size() == estimator.num_measurements());
+  assert(trials > 0);
+
+  const std::size_t m = estimator.num_measurements();
+  int alarms = 0;
+  linalg::Vector z(m);
+  for (int t = 0; t < trials; ++t) {
+    for (std::size_t i = 0; i < m; ++i) {
+      z[i] = z_base[i] + attack[i] +
+             rng.gaussian(0.0, estimator.sigmas()[i]);
+    }
+    if (bdd.alarm(estimator.normalized_residual_norm(z))) ++alarms;
+  }
+  return static_cast<double>(alarms) / static_cast<double>(trials);
+}
+
+}  // namespace mtdgrid::estimation

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "estimation/bdd.hpp"
+#include "estimation/state_estimator.hpp"
+#include "stats/rng.hpp"
+
+namespace mtdgrid::estimation {
+
+/// Exact detection probability of an FDI attack vector under the given
+/// estimator/BDD pair. The normalized residual-norm square under attack
+/// follows a noncentral chi-square law with M - n degrees of freedom and
+/// noncentrality lambda = ||W^{1/2}(I - K) a||^2 (paper Appendix B), so
+///
+///   P_D(a) = P(chi2'_{M-n}(lambda) >= tau^2).
+double analytic_detection_probability(const StateEstimator& estimator,
+                                      const BadDataDetector& bdd,
+                                      const linalg::Vector& attack);
+
+/// Monte-Carlo detection probability: draws `trials` Gaussian measurement
+/// noise realizations, forms z = z_base + a + n, and counts BDD alarms.
+/// `z_base` is the attack-free noiseless measurement (any vector in the
+/// column space of H works; the residual is invariant to it).
+double monte_carlo_detection_probability(const StateEstimator& estimator,
+                                         const BadDataDetector& bdd,
+                                         const linalg::Vector& z_base,
+                                         const linalg::Vector& attack,
+                                         int trials, stats::Rng& rng);
+
+}  // namespace mtdgrid::estimation

@@ -1,0 +1,65 @@
+#include "estimation/state_estimator.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/least_squares.hpp"
+
+namespace mtdgrid::estimation {
+
+StateEstimator::StateEstimator(linalg::Matrix h, double sigma)
+    : h_(std::move(h)), sigmas_(h_.rows(), sigma) {
+  if (sigma <= 0.0)
+    throw std::invalid_argument("state estimator: sigma must be positive");
+  initialize();
+}
+
+StateEstimator::StateEstimator(linalg::Matrix h, linalg::Vector sigmas)
+    : h_(std::move(h)), sigmas_(std::move(sigmas)) {
+  if (sigmas_.size() != h_.rows())
+    throw std::invalid_argument("state estimator: sigma vector length");
+  for (double s : sigmas_)
+    if (s <= 0.0)
+      throw std::invalid_argument("state estimator: sigma must be positive");
+  initialize();
+}
+
+void StateEstimator::initialize() {
+  if (h_.rows() <= h_.cols())
+    throw std::invalid_argument(
+        "state estimator: needs more measurements than states");
+  weights_ = linalg::Vector(h_.rows());
+  for (std::size_t i = 0; i < h_.rows(); ++i)
+    weights_[i] = 1.0 / (sigmas_[i] * sigmas_[i]);
+  const linalg::Matrix k = linalg::weighted_hat_matrix(h_, weights_);
+  residual_op_ = linalg::Matrix::identity(h_.rows()) - k;
+}
+
+linalg::Vector StateEstimator::estimate(const linalg::Vector& z) const {
+  assert(z.size() == h_.rows());
+  return linalg::solve_weighted_least_squares(h_, weights_, z);
+}
+
+linalg::Vector StateEstimator::residual(const linalg::Vector& z) const {
+  assert(z.size() == h_.rows());
+  return residual_op_ * z;
+}
+
+double StateEstimator::normalized_residual_norm(
+    const linalg::Vector& z) const {
+  const linalg::Vector r = residual(z);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    const double scaled = r[i] / sigmas_[i];
+    acc += scaled * scaled;
+  }
+  return std::sqrt(acc);
+}
+
+double StateEstimator::attack_residual_norm(
+    const linalg::Vector& attack) const {
+  return normalized_residual_norm(attack);
+}
+
+}  // namespace mtdgrid::estimation

@@ -1,0 +1,61 @@
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace mtdgrid::estimation {
+
+/// Weighted-least-squares DC state estimator (paper Section III):
+///
+///   theta_hat = (H^T W H)^{-1} H^T W z,
+///
+/// with W = diag(1/sigma_i^2). The residual operator (I - K) with
+/// K = H (H^T W H)^{-1} H^T W is precomputed at construction so that
+/// Monte-Carlo detection studies can evaluate thousands of residuals
+/// cheaply against the same measurement matrix.
+class StateEstimator {
+ public:
+  /// Builds the estimator for measurement matrix `h` (M x n, full column
+  /// rank) with homogeneous sensor noise standard deviation `sigma`.
+  StateEstimator(linalg::Matrix h, double sigma);
+
+  /// Builds the estimator with per-sensor noise standard deviations.
+  StateEstimator(linalg::Matrix h, linalg::Vector sigmas);
+
+  const linalg::Matrix& h() const { return h_; }
+  std::size_t num_measurements() const { return h_.rows(); }
+  std::size_t state_dimension() const { return h_.cols(); }
+
+  /// Degrees of freedom of the residual: M - n.
+  std::size_t residual_dof() const { return h_.rows() - h_.cols(); }
+
+  /// Per-sensor noise standard deviations.
+  const linalg::Vector& sigmas() const { return sigmas_; }
+
+  /// WLS state estimate for measurement vector `z`.
+  linalg::Vector estimate(const linalg::Vector& z) const;
+
+  /// Raw residual vector r = z - H theta_hat = (I - K) z.
+  linalg::Vector residual(const linalg::Vector& z) const;
+
+  /// Noise-normalized residual norm || W^{1/2} (z - H theta_hat) ||.
+  /// With homogeneous sigma this equals ||z - H theta_hat|| / sigma; its
+  /// square is chi-square distributed with `residual_dof()` degrees of
+  /// freedom under attack-free Gaussian noise.
+  double normalized_residual_norm(const linalg::Vector& z) const;
+
+  /// Norm of the *attack component* of the normalized residual,
+  /// || W^{1/2} (I - K) a ||. This is the paper's ||r'_a|| (Appendix B)
+  /// and the square root of the noncentral-chi-square noncentrality.
+  double attack_residual_norm(const linalg::Vector& attack) const;
+
+ private:
+  void initialize();
+
+  linalg::Matrix h_;
+  linalg::Vector sigmas_;
+  linalg::Vector weights_;          // 1 / sigma_i^2
+  linalg::Matrix residual_op_;      // I - K
+};
+
+}  // namespace mtdgrid::estimation

@@ -1,0 +1,188 @@
+#include "grid/cases.hpp"
+
+namespace mtdgrid::grid {
+
+namespace {
+
+Branch make_branch(std::size_t from_1based, std::size_t to_1based, double x,
+                   double limit_mw, bool dfacts = false,
+                   double eta_max = 0.5) {
+  Branch br;
+  br.from = from_1based - 1;
+  br.to = to_1based - 1;
+  br.reactance = x;
+  br.flow_limit_mw = limit_mw;
+  br.has_dfacts = dfacts;
+  br.dfacts_min_factor = dfacts ? 1.0 - eta_max : 1.0;
+  br.dfacts_max_factor = dfacts ? 1.0 + eta_max : 1.0;
+  return br;
+}
+
+Generator make_generator(std::size_t bus_1based, double max_mw, double cost) {
+  Generator g;
+  g.bus = bus_1based - 1;
+  g.min_mw = 0.0;
+  g.max_mw = max_mw;
+  g.cost_per_mwh = cost;
+  return g;
+}
+
+}  // namespace
+
+PowerSystem make_case4() {
+  std::vector<Bus> buses = {{50.0}, {170.0}, {200.0}, {80.0}};
+  // Grainger & Stevenson reactances (MATPOWER case4gs). Flow limits are
+  // chosen so the Table II operating point (flows 126.6 / 173.4 / -43.4 /
+  // -26.6 MW) is feasible but close enough to the limits that each of the
+  // four Table I/III single-line perturbations forces a re-dispatch.
+  std::vector<Branch> branches = {
+      make_branch(1, 2, 0.05040, 130.0, /*dfacts=*/true),
+      make_branch(1, 3, 0.03720, 175.0, /*dfacts=*/true),
+      make_branch(2, 4, 0.03720, 60.0, /*dfacts=*/true),
+      make_branch(3, 4, 0.06360, 60.0, /*dfacts=*/true),
+  };
+  // Linear costs 20/30 $/MWh with Pmax1 = 350 reproduce Table II exactly:
+  // dispatch (350, 150) MW at cost $1.15e4.
+  std::vector<Generator> generators = {
+      make_generator(1, 350.0, 20.0),
+      make_generator(4, 318.0, 30.0),
+  };
+  return PowerSystem("case4", std::move(buses), std::move(branches),
+                     std::move(generators));
+}
+
+PowerSystem make_case_ieee14() {
+  std::vector<Bus> buses = {
+      {0.0},  {21.7}, {94.2}, {47.8}, {7.6},  {11.2}, {0.0},
+      {0.0},  {29.5}, {9.0},  {3.5},  {6.1},  {13.5}, {14.9},
+  };
+
+  // MATPOWER case14 branch reactances; flow limit 160 MW on branch 1 and
+  // 60 MW on all other branches (paper Section VII-A). D-FACTS devices on
+  // branches {1, 5, 9, 11, 17, 19} (1-based) with eta_max = 0.5.
+  struct Row {
+    std::size_t from, to;
+    double x;
+  };
+  static constexpr Row kRows[] = {
+      {1, 2, 0.05917},  {1, 5, 0.22304},  {2, 3, 0.19797},  {2, 4, 0.17632},
+      {2, 5, 0.17388},  {3, 4, 0.17103},  {4, 5, 0.04211},  {4, 7, 0.20912},
+      {4, 9, 0.55618},  {5, 6, 0.25202},  {6, 11, 0.19890}, {6, 12, 0.25581},
+      {6, 13, 0.13027}, {7, 8, 0.17615},  {7, 9, 0.11001},  {9, 10, 0.08450},
+      {9, 14, 0.27038}, {10, 11, 0.19207}, {12, 13, 0.19988},
+      {13, 14, 0.34802},
+  };
+  const bool dfacts_flags[20] = {true,  false, false, false, true,  false,
+                                 false, false, true,  false, true,  false,
+                                 false, false, false, false, true,  false,
+                                 true,  false};
+
+  std::vector<Branch> branches;
+  branches.reserve(20);
+  for (std::size_t l = 0; l < 20; ++l) {
+    const double limit = (l == 0) ? 160.0 : 60.0;
+    branches.push_back(
+        make_branch(kRows[l].from, kRows[l].to, kRows[l].x, limit,
+                    dfacts_flags[l]));
+  }
+
+  // Table IV generator parameters.
+  std::vector<Generator> generators = {
+      make_generator(1, 300.0, 20.0), make_generator(2, 50.0, 30.0),
+      make_generator(3, 30.0, 40.0),  make_generator(6, 50.0, 50.0),
+      make_generator(8, 20.0, 35.0),
+  };
+  return PowerSystem("ieee14", std::move(buses), std::move(branches),
+                     std::move(generators));
+}
+
+PowerSystem make_case_ieee30() {
+  std::vector<Bus> buses(30);
+  // Classic IEEE 30-bus loads (MW).
+  const struct {
+    std::size_t bus_1based;
+    double load;
+  } kLoads[] = {
+      {2, 21.7}, {3, 2.4},  {4, 7.6},  {5, 94.2}, {7, 22.8}, {8, 30.0},
+      {10, 5.8}, {12, 11.2}, {14, 6.2}, {15, 8.2}, {16, 3.5}, {17, 9.0},
+      {18, 3.2}, {19, 9.5},  {20, 2.2}, {21, 17.5}, {23, 3.2}, {24, 8.7},
+      {26, 3.5}, {29, 2.4},  {30, 10.6},
+  };
+  for (const auto& entry : kLoads) buses[entry.bus_1based - 1].load_mw =
+      entry.load;
+
+  struct Row {
+    std::size_t from, to;
+    double x;
+    double limit;
+  };
+  static constexpr Row kRows[] = {
+      {1, 2, 0.0575, 130},  {1, 3, 0.1652, 130},  {2, 4, 0.1737, 65},
+      {3, 4, 0.0379, 130},  {2, 5, 0.1983, 130},  {2, 6, 0.1763, 65},
+      {4, 6, 0.0414, 90},   {5, 7, 0.1160, 70},   {6, 7, 0.0820, 130},
+      {6, 8, 0.0420, 32},   {6, 9, 0.2080, 65},   {6, 10, 0.5560, 32},
+      {9, 11, 0.2080, 65},  {9, 10, 0.1100, 65},  {4, 12, 0.2560, 65},
+      {12, 13, 0.1400, 65}, {12, 14, 0.2559, 32}, {12, 15, 0.1304, 32},
+      {12, 16, 0.1987, 32}, {14, 15, 0.1997, 16}, {16, 17, 0.1923, 16},
+      {15, 18, 0.2185, 16}, {18, 19, 0.1292, 16}, {19, 20, 0.0680, 32},
+      {10, 20, 0.2090, 32}, {10, 17, 0.0845, 32}, {10, 21, 0.0749, 32},
+      {10, 22, 0.1499, 32}, {21, 22, 0.0236, 32}, {15, 23, 0.2020, 16},
+      {22, 24, 0.1790, 16}, {23, 24, 0.2700, 16}, {24, 25, 0.3292, 16},
+      {25, 26, 0.3800, 16}, {25, 27, 0.2087, 16}, {28, 27, 0.3960, 65},
+      {27, 29, 0.4153, 16}, {27, 30, 0.6027, 16}, {29, 30, 0.4533, 16},
+      {8, 28, 0.2000, 32},  {6, 28, 0.0599, 32},
+  };
+  // D-FACTS on ten branches spread over the network (0-based indices).
+  const std::size_t kDfacts[] = {0, 3, 6, 10, 14, 17, 24, 30, 35, 40};
+
+  std::vector<Branch> branches;
+  branches.reserve(41);
+  for (std::size_t l = 0; l < 41; ++l) {
+    bool dfacts = false;
+    for (std::size_t idx : kDfacts) {
+      if (idx == l) {
+        dfacts = true;
+        break;
+      }
+    }
+    branches.push_back(make_branch(kRows[l].from, kRows[l].to, kRows[l].x,
+                                   kRows[l].limit, dfacts));
+  }
+
+  // Classic generator placement with linearized costs ($/MWh).
+  std::vector<Generator> generators = {
+      make_generator(1, 200.0, 20.0), make_generator(2, 80.0, 17.5),
+      make_generator(5, 50.0, 10.0),  make_generator(8, 35.0, 32.5),
+      make_generator(11, 30.0, 30.0), make_generator(13, 40.0, 30.0),
+  };
+  return PowerSystem("ieee30", std::move(buses), std::move(branches),
+                     std::move(generators));
+}
+
+PowerSystem make_case_wscc9() {
+  std::vector<Bus> buses(9);
+  buses[4].load_mw = 90.0;
+  buses[6].load_mw = 100.0;
+  buses[8].load_mw = 125.0;
+
+  std::vector<Branch> branches = {
+      make_branch(1, 4, 0.0576, 250, /*dfacts=*/true),
+      make_branch(4, 5, 0.0920, 250),
+      make_branch(5, 6, 0.1700, 150),
+      make_branch(3, 6, 0.0586, 300, /*dfacts=*/true),
+      make_branch(6, 7, 0.1008, 150),
+      make_branch(7, 8, 0.0720, 250),
+      make_branch(8, 2, 0.0625, 250),
+      make_branch(8, 9, 0.1610, 250, /*dfacts=*/true),
+      make_branch(9, 4, 0.0850, 250),
+  };
+  std::vector<Generator> generators = {
+      make_generator(1, 250.0, 15.0),
+      make_generator(2, 300.0, 12.0),
+      make_generator(3, 270.0, 20.0),
+  };
+  return PowerSystem("wscc9", std::move(buses), std::move(branches),
+                     std::move(generators));
+}
+
+}  // namespace mtdgrid::grid

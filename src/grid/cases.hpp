@@ -1,0 +1,34 @@
+#pragma once
+
+#include "grid/power_system.hpp"
+
+namespace mtdgrid::grid {
+
+/// Benchmark case library. Each factory returns a fully validated
+/// `PowerSystem` with the paper's simulation settings applied.
+
+/// The 4-bus example of the paper's Section IV-B (Fig. 3), which is the
+/// classic Grainger & Stevenson 4-bus network shipped with MATPOWER as
+/// `case4gs`: loads {50, 170, 200, 80} MW, generators at buses 1 and 4
+/// with linear costs chosen so that the pre-perturbation OPF reproduces
+/// Table II (dispatch 350/150 MW, cost $1.15e4). All four lines carry
+/// D-FACTS devices so the four single-line perturbations of Table I can
+/// be applied.
+PowerSystem make_case4();
+
+/// IEEE 14-bus system with the paper's Section VII-A settings: generators
+/// at buses 1, 2, 3, 6, 8 with (Pmax, c) from Table IV; D-FACTS on branches
+/// {1, 5, 9, 11, 17, 19} (1-based, as in the paper) with eta_max = 0.5;
+/// flow limit 160 MW on branch 1 and 60 MW elsewhere; MATPOWER `case14`
+/// loads and reactances.
+PowerSystem make_case_ieee14();
+
+/// IEEE 30-bus system (MATPOWER `case30` topology and loads, linearized
+/// generator costs). D-FACTS on ten branches spread across the network.
+PowerSystem make_case_ieee30();
+
+/// WSCC 9-bus system (MATPOWER `case9`), used as an additional scale point
+/// for tests and examples. D-FACTS on three branches.
+PowerSystem make_case_wscc9();
+
+}  // namespace mtdgrid::grid

@@ -1,0 +1,74 @@
+#include "grid/load_trace.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace mtdgrid::grid {
+
+DailyLoadTrace::DailyLoadTrace(std::vector<double> hourly_total_mw)
+    : hourly_total_mw_(std::move(hourly_total_mw)) {
+  if (hourly_total_mw_.size() != 24)
+    throw std::invalid_argument("daily load trace must have 24 entries");
+  for (double v : hourly_total_mw_)
+    if (v <= 0.0)
+      throw std::invalid_argument("load trace entries must be positive");
+}
+
+DailyLoadTrace DailyLoadTrace::nyiso_winter_weekday() {
+  // Hour 0 = midnight-1AM, ..., hour 17 = 5-6PM (evening peak), hour 23 =
+  // 11PM-midnight. Shape follows a NYISO winter weekday: double ramp with
+  // the evening peak dominating, range ~142-220 MW after scaling to the
+  // IEEE 14-bus case (cf. Fig. 10 of the paper).
+  return DailyLoadTrace({
+      158.0, 152.0, 147.0, 144.0, 142.0, 146.0,  // overnight trough
+      160.0, 175.0, 183.0, 186.0, 187.0, 186.0,  // morning ramp + plateau
+      184.0, 182.0, 181.0, 185.0, 196.0, 220.0,  // afternoon rise, 6PM peak
+      216.0, 209.0, 199.0, 187.0, 174.0, 163.0,  // evening decline
+  });
+}
+
+DailyLoadTrace DailyLoadTrace::synthetic(double trough_mw, double peak_mw,
+                                         std::size_t peak_hour, double jitter,
+                                         stats::Rng& rng) {
+  if (trough_mw <= 0.0 || peak_mw < trough_mw)
+    throw std::invalid_argument("synthetic trace: invalid range");
+  if (peak_hour >= 24)
+    throw std::invalid_argument("synthetic trace: peak hour out of range");
+  std::vector<double> totals(24);
+  constexpr std::size_t kTroughHour = 4;
+  for (std::size_t h = 0; h < 24; ++h) {
+    // Cosine bump centered on the peak hour, trough anchored at 4 AM.
+    const double phase =
+        std::numbers::pi *
+        (static_cast<double>(h) - static_cast<double>(kTroughHour)) /
+        (static_cast<double>(peak_hour) - static_cast<double>(kTroughHour));
+    const double shape = 0.5 * (1.0 - std::cos(phase));
+    double value = trough_mw + (peak_mw - trough_mw) * std::abs(shape);
+    value *= 1.0 + jitter * rng.gaussian();
+    totals[h] = std::max(value, 0.25 * trough_mw);
+  }
+  return DailyLoadTrace(std::move(totals));
+}
+
+double DailyLoadTrace::total_mw(std::size_t hour) const {
+  assert(hour < hourly_total_mw_.size());
+  return hourly_total_mw_[hour];
+}
+
+void DailyLoadTrace::apply(PowerSystem& sys, std::size_t hour,
+                           const linalg::Vector& base_loads_mw) const {
+  if (base_loads_mw.size() != sys.num_buses())
+    throw std::invalid_argument("apply: base load vector length mismatch");
+  double base_total = 0.0;
+  for (double v : base_loads_mw) base_total += v;
+  if (base_total <= 0.0)
+    throw std::invalid_argument("apply: base loads must have positive total");
+  const double factor = total_mw(hour) / base_total;
+  linalg::Vector scaled = base_loads_mw;
+  scaled *= factor;
+  sys.set_loads_mw(scaled);
+}
+
+}  // namespace mtdgrid::grid

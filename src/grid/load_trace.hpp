@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "grid/power_system.hpp"
+#include "stats/rng.hpp"
+
+namespace mtdgrid::grid {
+
+/// A 24-hour total-load trace (MW per hour), used to drive the dynamic-load
+/// simulations of the paper's Section VII-C.
+class DailyLoadTrace {
+ public:
+  /// Builds a trace from explicit hourly totals (must have 24 entries).
+  explicit DailyLoadTrace(std::vector<double> hourly_total_mw);
+
+  /// The NYISO-shaped winter-weekday profile standing in for the paper's
+  /// 25-JAN-2016 New York state trace, already scaled to the IEEE 14-bus
+  /// system: overnight trough ~142 MW around 4-5 AM, morning ramp, daytime
+  /// plateau ~183 MW, and an evening peak ~220 MW at 6 PM.
+  static DailyLoadTrace nyiso_winter_weekday();
+
+  /// A synthetic double-peak weekday profile: trough at 4 AM, peak at
+  /// `peak_hour`, total in [trough_mw, peak_mw], with optional Gaussian
+  /// jitter (relative standard deviation `jitter`, reproducible via `rng`).
+  static DailyLoadTrace synthetic(double trough_mw, double peak_mw,
+                                  std::size_t peak_hour, double jitter,
+                                  stats::Rng& rng);
+
+  /// Total system load for `hour` in [0, 24).
+  double total_mw(std::size_t hour) const;
+
+  std::size_t size() const { return hourly_total_mw_.size(); }
+
+  /// Applies hour `hour` of the trace to `sys` by scaling every bus load
+  /// proportionally so the system total matches the trace total. The
+  /// relative load distribution across buses is preserved, exactly as when
+  /// feeding an aggregate trace to a benchmark case.
+  void apply(PowerSystem& sys, std::size_t hour,
+             const linalg::Vector& base_loads_mw) const;
+
+ private:
+  std::vector<double> hourly_total_mw_;
+};
+
+}  // namespace mtdgrid::grid

@@ -1,0 +1,55 @@
+#include "grid/measurement.hpp"
+
+#include <cassert>
+
+namespace mtdgrid::grid {
+
+std::size_t measurement_count(const PowerSystem& sys) {
+  return 2 * sys.num_branches() + sys.num_buses();
+}
+
+linalg::Matrix measurement_matrix(const PowerSystem& sys,
+                                  const linalg::Vector& x) {
+  assert(x.size() == sys.num_branches());
+  const std::size_t num_branches = sys.num_branches();
+  const std::size_t num_buses = sys.num_buses();
+  const std::size_t state_dim = num_buses - 1;
+
+  const linalg::Matrix a_reduced = sys.reduced_branch_incidence();  // L x N-1
+  const linalg::Vector d = sys.branch_susceptances(x);
+
+  linalg::Matrix h(measurement_count(sys), state_dim);
+
+  // Forward flow rows: D A_r^T  (row l scaled by d_l).
+  for (std::size_t l = 0; l < num_branches; ++l) {
+    for (std::size_t j = 0; j < state_dim; ++j) {
+      const double value = d[l] * a_reduced(l, j);
+      h(l, j) = value;                      // forward flow
+      h(num_branches + l, j) = -value;      // reverse flow
+    }
+  }
+
+  // Injection rows: the full B = A D A^T with the slack *column* removed;
+  // injections are measured at every bus including the slack.
+  const linalg::Matrix b_full = sys.susceptance_matrix(x);
+  const linalg::Matrix b_cols = b_full.without_col(sys.slack_bus());
+  for (std::size_t i = 0; i < num_buses; ++i) {
+    for (std::size_t j = 0; j < state_dim; ++j) {
+      h(2 * num_branches + i, j) = b_cols(i, j);
+    }
+  }
+  return h;
+}
+
+linalg::Matrix measurement_matrix(const PowerSystem& sys) {
+  return measurement_matrix(sys, sys.reactances());
+}
+
+linalg::Vector noiseless_measurements(const PowerSystem& sys,
+                                      const linalg::Vector& x,
+                                      const linalg::Vector& theta_reduced) {
+  assert(theta_reduced.size() == sys.num_buses() - 1);
+  return measurement_matrix(sys, x) * theta_reduced;
+}
+
+}  // namespace mtdgrid::grid

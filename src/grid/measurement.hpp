@@ -1,0 +1,38 @@
+#pragma once
+
+#include "grid/power_system.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace mtdgrid::grid {
+
+/// The DC measurement model of the paper (Section III):
+///
+///   z = H theta + n,   z = [f; -f; p]
+///
+/// where f are the L forward branch flows, -f the reverse flows, and p the
+/// N nodal injections, so M = 2L + N. We use the *reduced* state (slack
+/// angle removed), which makes H an M x (N-1) full-column-rank matrix:
+///
+///   H = [ D A_r^T ; -D A_r^T ; A_r D A_r^T-rows-for-all-buses ]
+///
+/// with A_r the reduced incidence and D = diag(base_mva / x_l).
+/// Flows and injections are in MW, angles in radians.
+
+/// Number of measurements M = 2L + N for the given system.
+std::size_t measurement_count(const PowerSystem& sys);
+
+/// Builds the measurement matrix H for reactances `x` (length L).
+linalg::Matrix measurement_matrix(const PowerSystem& sys,
+                                  const linalg::Vector& x);
+
+/// Builds H at the system's current nominal reactances.
+linalg::Matrix measurement_matrix(const PowerSystem& sys);
+
+/// Noise-free measurement vector z = H theta for the reduced state
+/// `theta_reduced` (length N-1).
+linalg::Vector noiseless_measurements(const PowerSystem& sys,
+                                      const linalg::Vector& x,
+                                      const linalg::Vector& theta_reduced);
+
+}  // namespace mtdgrid::grid

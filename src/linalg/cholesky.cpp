@@ -1,0 +1,56 @@
+#include "linalg/cholesky.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mtdgrid::linalg {
+
+CholeskyDecomposition::CholeskyDecomposition(const Matrix& a)
+    : l_(a.rows(), a.cols()) {
+  assert(a.rows() == a.cols() && "Cholesky requires a square matrix");
+  const std::size_t n = a.rows();
+  // Relative tolerance: a pivot this far below the matrix scale means the
+  // matrix is numerically singular even if rounding left it barely positive.
+  double max_diag = 0.0;
+  for (std::size_t j = 0; j < n; ++j)
+    max_diag = std::max(max_diag, std::abs(a(j, j)));
+  const double tol = 1e-12 * std::max(max_diag, 1e-300);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    if (diag <= tol) {
+      failed_ = true;
+      return;
+    }
+    l_(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l_(i, k) * l_(j, k);
+      l_(i, j) = acc / l_(j, j);
+    }
+  }
+}
+
+Vector CholeskyDecomposition::solve(const Vector& b) const {
+  assert(!failed_ && "cannot solve with a failed factorization");
+  assert(b.size() == l_.rows());
+  const std::size_t n = l_.rows();
+
+  // Forward substitution: L y = b.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= l_(i, j) * y[j];
+    y[i] = acc / l_(i, i);
+  }
+  // Back substitution: L^T x = y.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= l_(j, ii) * x[j];
+    x[ii] = acc / l_(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace mtdgrid::linalg

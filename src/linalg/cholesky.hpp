@@ -1,0 +1,27 @@
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace mtdgrid::linalg {
+
+/// Cholesky factorization `A = L L^T` of a symmetric positive-definite
+/// matrix, used for the weighted-least-squares normal equations
+/// `(H^T W H) x = H^T W z` that drive the state estimator.
+class CholeskyDecomposition {
+ public:
+  /// Factorizes the symmetric matrix `a`; only the lower triangle is read.
+  explicit CholeskyDecomposition(const Matrix& a);
+
+  /// True when the matrix was not positive definite within tolerance.
+  bool failed() const { return failed_; }
+
+  /// Solves `A x = b`. Requires `!failed()`.
+  Vector solve(const Vector& b) const;
+
+ private:
+  Matrix l_;
+  bool failed_ = false;
+};
+
+}  // namespace mtdgrid::linalg

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace mtdgrid::linalg {
+
+/// Weighted least-squares solver for `min_x || W^{1/2} (A x - b) ||`.
+///
+/// `weights` holds the diagonal of W (one non-negative weight per row of A;
+/// in state estimation these are reciprocal noise variances). Solves the
+/// normal equations with a Cholesky factorization; requires A to have full
+/// column rank. Throws std::runtime_error otherwise.
+Vector solve_weighted_least_squares(const Matrix& a, const Vector& weights,
+                                    const Vector& b);
+
+/// Ordinary least squares `min_x ||A x - b||` via Householder QR.
+/// Requires A to have full column rank. Throws std::runtime_error otherwise.
+Vector solve_least_squares(const Matrix& a, const Vector& b);
+
+/// The weighted-projection "hat" matrix  K = A (A^T W A)^{-1} A^T W.
+/// The state-estimation residual operator is (I - K); the paper's
+/// Appendix A writes it as Gamma'. Requires full column rank.
+Matrix weighted_hat_matrix(const Matrix& a, const Vector& weights);
+
+}  // namespace mtdgrid::linalg

@@ -1,0 +1,99 @@
+#include "linalg/lu.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace mtdgrid::linalg {
+
+namespace {
+constexpr double kPivotTolerance = 1e-12;
+}
+
+LuDecomposition::LuDecomposition(const Matrix& a) : lu_(a), p_(a.rows()) {
+  assert(a.rows() == a.cols() && "LU requires a square matrix");
+  const std::size_t n = a.rows();
+  std::iota(p_.begin(), p_.end(), std::size_t{0});
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: bring the largest remaining |element| to (k, k).
+    std::size_t pivot_row = k;
+    double pivot_mag = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double mag = std::abs(lu_(i, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = i;
+      }
+    }
+    if (pivot_mag < kPivotTolerance) {
+      singular_ = true;
+      continue;
+    }
+    if (pivot_row != k) {
+      for (std::size_t j = 0; j < n; ++j)
+        std::swap(lu_(k, j), lu_(pivot_row, j));
+      std::swap(p_[k], p_[pivot_row]);
+      sign_ = -sign_;
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double factor = lu_(i, k) / lu_(k, k);
+      lu_(i, k) = factor;
+      for (std::size_t j = k + 1; j < n; ++j) {
+        lu_(i, j) -= factor * lu_(k, j);
+      }
+    }
+  }
+}
+
+Vector LuDecomposition::solve(const Vector& b) const {
+  assert(!singular_ && "cannot solve with a singular factorization");
+  assert(b.size() == lu_.rows());
+  const std::size_t n = lu_.rows();
+
+  // Forward substitution with permuted right-hand side: L y = P b.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[p_[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * y[j];
+    y[i] = acc;
+  }
+  // Back substitution: U x = y.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix LuDecomposition::solve(const Matrix& b) const {
+  assert(b.rows() == lu_.rows());
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) x.set_col(j, solve(b.col(j)));
+  return x;
+}
+
+double LuDecomposition::determinant() const {
+  if (singular_) return 0.0;
+  double det = sign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Vector solve(const Matrix& a, const Vector& b) {
+  LuDecomposition lu(a);
+  if (lu.singular()) throw std::runtime_error("linalg::solve: singular matrix");
+  return lu.solve(b);
+}
+
+Matrix inverse(const Matrix& a) {
+  LuDecomposition lu(a);
+  if (lu.singular())
+    throw std::runtime_error("linalg::inverse: singular matrix");
+  return lu.solve(Matrix::identity(a.rows()));
+}
+
+}  // namespace mtdgrid::linalg

@@ -1,0 +1,119 @@
+#include "linalg/qr.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace mtdgrid::linalg {
+
+QrDecomposition::QrDecomposition(const Matrix& a) {
+  assert(a.rows() >= a.cols() && "QR requires rows >= cols");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+
+  // Householder reduction: w stores the reflectors, r becomes triangular.
+  Matrix w(m, n);  // column j holds the j-th Householder vector
+  Matrix r = a;
+  for (std::size_t k = 0; k < n; ++k) {
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) continue;  // column already zero below the diagonal
+
+    const double alpha = (r(k, k) >= 0.0) ? -norm : norm;
+    Vector v(m);
+    v[k] = r(k, k) - alpha;
+    for (std::size_t i = k + 1; i < m; ++i) v[i] = r(i, k);
+    double vnorm2 = 0.0;
+    for (std::size_t i = k; i < m; ++i) vnorm2 += v[i] * v[i];
+    if (vnorm2 == 0.0) continue;
+
+    // Apply the reflector to the remaining columns of R.
+    for (std::size_t j = k; j < n; ++j) {
+      double dot = 0.0;
+      for (std::size_t i = k; i < m; ++i) dot += v[i] * r(i, j);
+      const double scale = 2.0 * dot / vnorm2;
+      for (std::size_t i = k; i < m; ++i) r(i, j) -= scale * v[i];
+    }
+    const double vnorm = std::sqrt(vnorm2);
+    for (std::size_t i = k; i < m; ++i) w(i, k) = v[i] / vnorm;
+  }
+
+  // Accumulate the thin Q by applying the reflectors to I's first n columns.
+  q_ = Matrix(m, n);
+  for (std::size_t j = 0; j < n; ++j) q_(j, j) = 1.0;
+  for (std::size_t kk = n; kk-- > 0;) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (std::size_t i = kk; i < m; ++i) dot += w(i, kk) * q_(i, j);
+      const double scale = 2.0 * dot;
+      for (std::size_t i = kk; i < m; ++i) q_(i, j) -= scale * w(i, kk);
+    }
+  }
+
+  r_ = r.block(0, 0, n, n);
+}
+
+std::size_t QrDecomposition::rank(double tol) const {
+  double max_diag = 0.0;
+  for (std::size_t i = 0; i < r_.rows(); ++i)
+    max_diag = std::max(max_diag, std::abs(r_(i, i)));
+  if (max_diag == 0.0) return 0;
+  std::size_t rk = 0;
+  for (std::size_t i = 0; i < r_.rows(); ++i)
+    if (std::abs(r_(i, i)) > tol * max_diag) ++rk;
+  return rk;
+}
+
+Vector QrDecomposition::solve_least_squares(const Vector& b) const {
+  assert(b.size() == q_.rows());
+  const std::size_t n = r_.rows();
+  if (rank() < n)
+    throw std::runtime_error("QR least squares: rank-deficient matrix");
+  const Vector qtb = q_.transpose_times(b);
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = qtb[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= r_(ii, j) * x[j];
+    x[ii] = acc / r_(ii, ii);
+  }
+  return x;
+}
+
+Matrix orthonormal_column_basis(const Matrix& a, double tol) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+
+  // Modified Gram-Schmidt with one re-orthogonalization pass; columns whose
+  // residual norm collapses below tol * original-norm are dropped.
+  std::vector<Vector> basis;
+  double max_col_norm = 0.0;
+  for (std::size_t j = 0; j < n; ++j)
+    max_col_norm = std::max(max_col_norm, a.col(j).norm());
+  if (max_col_norm == 0.0) return Matrix(m, 0);
+
+  for (std::size_t j = 0; j < n; ++j) {
+    Vector v = a.col(j);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const Vector& q : basis) {
+        const double proj = q.dot(v);
+        v -= proj * q;
+      }
+    }
+    const double vn = v.norm();
+    if (vn > tol * max_col_norm) {
+      basis.push_back(v / vn);
+    }
+  }
+
+  Matrix out(m, basis.size());
+  for (std::size_t j = 0; j < basis.size(); ++j) out.set_col(j, basis[j]);
+  return out;
+}
+
+std::size_t rank(const Matrix& a, double tol) {
+  if (a.rows() >= a.cols()) return orthonormal_column_basis(a, tol).cols();
+  return orthonormal_column_basis(a.transposed(), tol).cols();
+}
+
+}  // namespace mtdgrid::linalg

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace mtdgrid::linalg {
+
+/// Householder QR factorization `A = Q R` of an m x n matrix with m >= n.
+///
+/// The thin factor `Q` (m x n with orthonormal columns) provides the
+/// orthonormal column-space bases needed for the principal-angle
+/// computations at the heart of the MTD design criterion.
+class QrDecomposition {
+ public:
+  /// Factorizes `a` (requires `a.rows() >= a.cols()`).
+  explicit QrDecomposition(const Matrix& a);
+
+  /// Thin orthonormal factor: m x n, `Q^T Q = I`.
+  const Matrix& q_thin() const { return q_; }
+
+  /// Upper-triangular factor: n x n.
+  const Matrix& r() const { return r_; }
+
+  /// Numerical rank: the number of diagonal entries of R whose magnitude
+  /// exceeds `tol * max|R_ii|`.
+  std::size_t rank(double tol = 1e-10) const;
+
+  /// Least-squares solution of `A x = b` via `R x = Q^T b`.
+  /// Requires full column rank.
+  Vector solve_least_squares(const Vector& b) const;
+
+ private:
+  Matrix q_;
+  Matrix r_;
+};
+
+/// Orthonormal basis for the column space of `a` (columns with numerically
+/// non-zero R pivots are kept; `a` may be rank deficient). Implemented via
+/// modified Gram-Schmidt with re-orthogonalization for stability.
+Matrix orthonormal_column_basis(const Matrix& a, double tol = 1e-10);
+
+/// Numerical rank of an arbitrary matrix (via the basis construction above).
+std::size_t rank(const Matrix& a, double tol = 1e-10);
+
+}  // namespace mtdgrid::linalg

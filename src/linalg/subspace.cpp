@@ -1,0 +1,54 @@
+#include "linalg/subspace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+
+namespace mtdgrid::linalg {
+
+std::vector<double> principal_angles(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && "subspaces must live in the same space");
+  const Matrix qa = orthonormal_column_basis(a);
+  const Matrix qb = orthonormal_column_basis(b);
+  if (qa.cols() == 0 || qb.cols() == 0) return {};
+
+  const Matrix overlap = qa.transpose_times(qb);
+  const SvdDecomposition svd(overlap);
+
+  const std::size_t count = std::min(qa.cols(), qb.cols());
+  std::vector<double> angles;
+  angles.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Clamp: rounding can push cosines a hair beyond [0, 1].
+    const double c = std::clamp(svd.singular_values()[i], 0.0, 1.0);
+    angles.push_back(std::acos(c));
+  }
+  std::sort(angles.begin(), angles.end());
+  return angles;
+}
+
+double smallest_principal_angle(const Matrix& a, const Matrix& b) {
+  const auto angles = principal_angles(a, b);
+  assert(!angles.empty() && "both matrices must have non-trivial ranges");
+  return angles.front();
+}
+
+double largest_principal_angle(const Matrix& a, const Matrix& b) {
+  const auto angles = principal_angles(a, b);
+  assert(!angles.empty() && "both matrices must have non-trivial ranges");
+  return angles.back();
+}
+
+bool column_space_contains(const Matrix& a, const Matrix& b, double tol) {
+  assert(a.rows() == b.rows());
+  const Matrix qa = orthonormal_column_basis(a);
+  // b is inside Col(A) iff the residual b - Qa Qa^T b vanishes.
+  const Matrix projected = qa * (qa.transpose_times(b));
+  double scale = std::max(1.0, b.max_abs());
+  return max_abs_diff(projected, b) <= tol * scale;
+}
+
+}  // namespace mtdgrid::linalg

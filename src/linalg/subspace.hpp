@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace mtdgrid::linalg {
+
+/// Principal angles between the column spaces of two matrices, in radians,
+/// sorted ascending (theta_1 = smallest). Computed the Bjorck-Golub way:
+/// orthonormal bases Q1, Q2, then theta_i = acos(sigma_i(Q1^T Q2)).
+///
+/// The number of angles returned is min(rank(A), rank(B)).
+std::vector<double> principal_angles(const Matrix& a, const Matrix& b);
+
+/// The smallest principal angle (SPA) between Col(A) and Col(B), in
+/// radians in [0, pi/2]. This is the gamma(H, H') metric of the paper:
+/// 0 means the subspaces share a direction (perfectly aligned in the
+/// rank-1 sense); pi/2 means they are fully orthogonal.
+double smallest_principal_angle(const Matrix& a, const Matrix& b);
+
+/// Largest principal angle, in radians in [0, pi/2].
+double largest_principal_angle(const Matrix& a, const Matrix& b);
+
+/// True when every column of `b` lies in Col(A) within tolerance, i.e.
+/// rank([A | b]) == rank(A). This is the Proposition-1 stealth test.
+bool column_space_contains(const Matrix& a, const Matrix& b,
+                           double tol = 1e-8);
+
+}  // namespace mtdgrid::linalg

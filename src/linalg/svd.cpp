@@ -1,0 +1,123 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace mtdgrid::linalg {
+
+namespace {
+
+/// One-sided Jacobi SVD for m >= n. Rotates column pairs of a working copy
+/// of A until all pairs are numerically orthogonal; the column norms are
+/// then the singular values and the accumulated rotations form V.
+void jacobi_svd(const Matrix& a, Matrix& u, Vector& sigma, Matrix& v) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  Matrix work = a;
+  v = Matrix::identity(n);
+
+  constexpr int kMaxSweeps = 60;
+  constexpr double kTol = 1e-14;
+
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    bool converged = true;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        // Gram entries of the (p, q) column pair.
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          app += work(i, p) * work(i, p);
+          aqq += work(i, q) * work(i, q);
+          apq += work(i, p) * work(i, q);
+        }
+        if (std::abs(apq) <= kTol * std::sqrt(app * aqq) || apq == 0.0)
+          continue;
+        converged = false;
+
+        // Jacobi rotation that zeroes the off-diagonal Gram entry.
+        const double zeta = (aqq - app) / (2.0 * apq);
+        const double t = (zeta >= 0.0)
+                             ? 1.0 / (zeta + std::sqrt(1.0 + zeta * zeta))
+                             : -1.0 / (-zeta + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+
+        for (std::size_t i = 0; i < m; ++i) {
+          const double wp = work(i, p);
+          const double wq = work(i, q);
+          work(i, p) = c * wp - s * wq;
+          work(i, q) = s * wp + c * wq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vp = v(i, p);
+          const double vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  // Column norms -> singular values; normalized columns -> U.
+  sigma = Vector(n);
+  u = Matrix(m, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (std::size_t i = 0; i < m; ++i) norm += work(i, j) * work(i, j);
+    norm = std::sqrt(norm);
+    sigma[j] = norm;
+    if (norm > 0.0) {
+      for (std::size_t i = 0; i < m; ++i) u(i, j) = work(i, j) / norm;
+    }
+  }
+
+  // Sort singular values (and the corresponding U, V columns) descending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return sigma[i] > sigma[j]; });
+  Vector sorted_sigma(n);
+  Matrix sorted_u(m, n);
+  Matrix sorted_v(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sorted_sigma[j] = sigma[order[j]];
+    sorted_u.set_col(j, u.col(order[j]));
+    sorted_v.set_col(j, v.col(order[j]));
+  }
+  sigma = std::move(sorted_sigma);
+  u = std::move(sorted_u);
+  v = std::move(sorted_v);
+}
+
+}  // namespace
+
+SvdDecomposition::SvdDecomposition(const Matrix& a) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    u_ = Matrix(a.rows(), 0);
+    v_ = Matrix(a.cols(), 0);
+    sigma_ = Vector();
+    return;
+  }
+  if (a.rows() >= a.cols()) {
+    jacobi_svd(a, u_, sigma_, v_);
+  } else {
+    // A = U S V^T  <=>  A^T = V S U^T; decompose the transpose and swap.
+    Matrix ut, vt;
+    jacobi_svd(a.transposed(), vt, sigma_, ut);
+    u_ = std::move(ut);
+    v_ = std::move(vt);
+  }
+}
+
+std::size_t SvdDecomposition::rank(double tol) const {
+  if (sigma_.empty() || sigma_[0] == 0.0) return 0;
+  std::size_t rk = 0;
+  for (double s : sigma_)
+    if (s > tol * sigma_[0]) ++rk;
+  return rk;
+}
+
+}  // namespace mtdgrid::linalg

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace mtdgrid::linalg {
+
+/// Thin singular value decomposition `A = U diag(sigma) V^T` computed with
+/// the one-sided Jacobi method (numerically robust and simple; ideal for the
+/// small matrices that arise from principal-angle computations).
+///
+/// For an m x n input with m >= n: `u()` is m x n with orthonormal columns,
+/// `singular_values()` has n entries sorted in descending order, and `v()`
+/// is n x n orthogonal. Inputs with m < n are handled by transposing.
+class SvdDecomposition {
+ public:
+  /// Computes the decomposition of `a`.
+  explicit SvdDecomposition(const Matrix& a);
+
+  const Matrix& u() const { return u_; }
+  const Matrix& v() const { return v_; }
+  const Vector& singular_values() const { return sigma_; }
+
+  /// Numerical rank: singular values above `tol * sigma_max`.
+  std::size_t rank(double tol = 1e-10) const;
+
+  /// Largest singular value (0 for an empty matrix).
+  double sigma_max() const { return sigma_.empty() ? 0.0 : sigma_[0]; }
+
+  /// Smallest singular value of the thin decomposition.
+  double sigma_min() const {
+    return sigma_.empty() ? 0.0 : sigma_[sigma_.size() - 1];
+  }
+
+ private:
+  Matrix u_;
+  Matrix v_;
+  Vector sigma_;
+};
+
+}  // namespace mtdgrid::linalg

@@ -1,0 +1,67 @@
+#include "mtd/effectiveness.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "attack/fdi_attack.hpp"
+#include "estimation/bdd.hpp"
+#include "estimation/detection.hpp"
+#include "estimation/state_estimator.hpp"
+
+namespace mtdgrid::mtd {
+
+EffectivenessResult evaluate_effectiveness(const linalg::Matrix& h_attacker,
+                                           const linalg::Matrix& h_actual,
+                                           const linalg::Vector& z_ref,
+                                           const EffectivenessOptions& options,
+                                           stats::Rng& rng) {
+  if (h_attacker.rows() != h_actual.rows())
+    throw std::invalid_argument(
+        "effectiveness: measurement dimensions must match");
+  if (options.num_attacks <= 0)
+    throw std::invalid_argument("effectiveness: need at least one attack");
+
+  const estimation::StateEstimator estimator(h_actual, options.sigma_mw);
+  const estimation::BadDataDetector bdd(estimator, options.fp_rate);
+
+  const auto attacks = attack::sample_attacks(
+      h_attacker, z_ref, options.attack_relative_magnitude,
+      options.num_attacks, rng);
+
+  EffectivenessResult result;
+  result.detection_probabilities.reserve(attacks.size());
+  double sum = 0.0;
+  for (const attack::FdiAttack& atk : attacks) {
+    double pd = 0.0;
+    switch (options.method) {
+      case DetectionMethod::kAnalytic:
+        pd = estimation::analytic_detection_probability(estimator, bdd,
+                                                        atk.a);
+        break;
+      case DetectionMethod::kMonteCarlo:
+        pd = estimation::monte_carlo_detection_probability(
+            estimator, bdd, z_ref, atk.a, options.noise_trials, rng);
+        break;
+    }
+    result.detection_probabilities.push_back(pd);
+    sum += pd;
+  }
+  result.mean_detection = sum / static_cast<double>(attacks.size());
+
+  result.eta.reserve(options.deltas.size());
+  for (double delta : options.deltas)
+    result.eta.push_back(eta_at(result.detection_probabilities, delta));
+  return result;
+}
+
+double eta_at(const std::vector<double>& detection_probabilities,
+              double delta) {
+  if (detection_probabilities.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (double pd : detection_probabilities)
+    if (pd >= delta) ++hits;
+  return static_cast<double>(hits) /
+         static_cast<double>(detection_probabilities.size());
+}
+
+}  // namespace mtdgrid::mtd

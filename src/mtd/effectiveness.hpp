@@ -1,0 +1,60 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "stats/rng.hpp"
+
+namespace mtdgrid::mtd {
+
+/// How per-attack detection probabilities are computed.
+enum class DetectionMethod {
+  kAnalytic,    ///< exact noncentral-chi-square probability (fast)
+  kMonteCarlo,  ///< the paper's method: count alarms over noise draws
+};
+
+/// Options for the eta'(delta) effectiveness evaluation (paper Section V-A
+/// and the Monte-Carlo methodology of Section VII-B).
+struct EffectivenessOptions {
+  int num_attacks = 1000;                  ///< attack vectors a = H_t c
+  double attack_relative_magnitude = 0.08; ///< ||a||_1 / ||z||_1 target
+  double fp_rate = 5e-4;                   ///< BDD false-positive rate alpha
+  /// Sensor noise standard deviation in MW. The paper does not state its
+  /// noise level; 0.05 MW (5e-4 per-unit on the 100 MVA base) reproduces
+  /// the Fig. 6 effectiveness range. EXPERIMENTS.md records the value used
+  /// for each experiment.
+  double sigma_mw = 0.05;
+  DetectionMethod method = DetectionMethod::kAnalytic;
+  int noise_trials = 1000;                 ///< Monte-Carlo draws per attack
+  std::vector<double> deltas = {0.5, 0.8, 0.9, 0.95};
+};
+
+/// Result of an effectiveness evaluation.
+struct EffectivenessResult {
+  /// Detection probability P'_D(a) of every sampled attack.
+  std::vector<double> detection_probabilities;
+  /// eta'(delta) for each requested delta: the fraction of attacks with
+  /// P'_D(a) >= delta (the Lebesgue-measure ratio of Section V-A estimated
+  /// by sampling).
+  std::vector<double> eta;
+  /// Mean detection probability across the attack sample.
+  double mean_detection = 0.0;
+};
+
+/// Estimates the MTD effectiveness eta'(delta): attacks are crafted from
+/// the attacker's (outdated) matrix `h_attacker`, the defender operates the
+/// system with matrix `h_actual`, and `z_ref` is the noiseless measurement
+/// vector at the actual operating point (used both to scale the attack
+/// magnitudes and as the Monte-Carlo base signal).
+EffectivenessResult evaluate_effectiveness(const linalg::Matrix& h_attacker,
+                                           const linalg::Matrix& h_actual,
+                                           const linalg::Vector& z_ref,
+                                           const EffectivenessOptions& options,
+                                           stats::Rng& rng);
+
+/// eta'(delta) for a single delta from an already computed probability set.
+double eta_at(const std::vector<double>& detection_probabilities,
+              double delta);
+
+}  // namespace mtdgrid::mtd

@@ -1,0 +1,28 @@
+#include "mtd/random_mtd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace mtdgrid::mtd {
+
+linalg::Vector random_reactance_perturbation(const grid::PowerSystem& sys,
+                                             const linalg::Vector& x_base,
+                                             double max_fraction,
+                                             stats::Rng& rng) {
+  if (x_base.size() != sys.num_branches())
+    throw std::invalid_argument("random MTD: wrong reactance vector length");
+  if (max_fraction <= 0.0)
+    throw std::invalid_argument("random MTD: fraction must be positive");
+
+  const linalg::Vector lo = sys.reactance_lower_limits();
+  const linalg::Vector hi = sys.reactance_upper_limits();
+  linalg::Vector x = x_base;
+  for (std::size_t l : sys.dfacts_branches()) {
+    const double factor = 1.0 + rng.uniform(-max_fraction, max_fraction);
+    x[l] = std::clamp(x_base[l] * factor, lo[l], hi[l]);
+  }
+  return x;
+}
+
+}  // namespace mtdgrid::mtd

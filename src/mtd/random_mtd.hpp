@@ -1,0 +1,22 @@
+#pragma once
+
+#include "grid/power_system.hpp"
+#include "linalg/vector.hpp"
+#include "stats/rng.hpp"
+
+namespace mtdgrid::mtd {
+
+/// The prior-work MTD baseline ([11]-[13] in the paper): perturb the
+/// D-FACTS branch reactances by *random* amounts within +/- `max_fraction`
+/// of their current value (the paper's comparison uses 2%). The set of all
+/// such perturbations is the "keyspace" of the random MTD.
+///
+/// Returns a full length-L reactance vector; non-D-FACTS branches keep
+/// their nominal reactance. Perturbations are clipped to the D-FACTS
+/// device limits.
+linalg::Vector random_reactance_perturbation(const grid::PowerSystem& sys,
+                                             const linalg::Vector& x_base,
+                                             double max_fraction,
+                                             stats::Rng& rng);
+
+}  // namespace mtdgrid::mtd

@@ -1,0 +1,126 @@
+#include "mtd/selection.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "grid/measurement.hpp"
+#include "mtd/spa.hpp"
+#include "opf/reactance_opf.hpp"
+
+namespace mtdgrid::mtd {
+
+MtdSelectionResult select_mtd_perturbation(const grid::PowerSystem& sys,
+                                           const linalg::Matrix& h_attacker,
+                                           double base_opf_cost,
+                                           const MtdSelectionOptions& options,
+                                           stats::Rng& rng) {
+  if (base_opf_cost <= 0.0)
+    throw std::invalid_argument("MTD selection: base OPF cost must be > 0");
+  if (options.gamma_threshold < 0.0)
+    throw std::invalid_argument("MTD selection: negative gamma threshold");
+  const auto dfacts = sys.dfacts_branches();
+  if (dfacts.empty())
+    throw std::invalid_argument("MTD selection: system has no D-FACTS");
+
+  const linalg::Vector lo_full = sys.reactance_lower_limits();
+  const linalg::Vector hi_full = sys.reactance_upper_limits();
+  linalg::Vector lo(dfacts.size()), hi(dfacts.size()), x0(dfacts.size());
+  for (std::size_t k = 0; k < dfacts.size(); ++k) {
+    lo[k] = lo_full[dfacts[k]];
+    hi[k] = hi_full[dfacts[k]];
+    x0[k] = sys.branch(dfacts[k]).reactance;
+  }
+
+  const double penalty = options.penalty_scale * base_opf_cost;
+  constexpr double kInfeasiblePenalty = 1e15;
+
+  // Penalized objective: dispatch cost + quadratic penalty on the unmet
+  // part of the SPA constraint (exact for a large enough multiplier).
+  const auto objective = [&](const linalg::Vector& dfacts_x) {
+    const linalg::Vector x = opf::expand_dfacts_reactances(sys, dfacts_x);
+    const opf::DispatchResult d = opf::solve_dc_opf(sys, x);
+    if (!d.feasible) return kInfeasiblePenalty;
+    const linalg::Matrix h = grid::measurement_matrix(sys, x);
+    const double gamma = spa(h_attacker, h);
+    const double deficit =
+        options.pin_gamma ? std::abs(options.gamma_threshold - gamma)
+                          : std::max(0.0, options.gamma_threshold - gamma);
+    return d.cost + penalty * deficit * (1.0 + deficit);
+  };
+
+  // Multi-start portfolio: the nominal point, random interior points, and
+  // the best corners of the D-FACTS box. Corners produce the largest
+  // column-space rotations, so they are essential starts when gamma_th is
+  // near the achievable ceiling (interior starts alone often stall on the
+  // penalty plateau). With up to 8 D-FACTS branches the full corner set is
+  // small enough to probe exhaustively; otherwise sample it.
+  std::vector<linalg::Vector> starts;
+  starts.push_back(x0);
+  const int num_random = std::max(0, options.extra_starts / 2);
+  const int num_corners = options.extra_starts - num_random;
+  for (int s = 0; s < num_random; ++s) {
+    linalg::Vector start(lo.size());
+    for (std::size_t i = 0; i < lo.size(); ++i)
+      start[i] = rng.uniform(lo[i], hi[i]);
+    starts.push_back(std::move(start));
+  }
+  if (num_corners > 0) {
+    struct ScoredCorner {
+      double score;
+      linalg::Vector x;
+    };
+    std::vector<ScoredCorner> corners;
+    const std::size_t dims = lo.size();
+    const std::size_t total =
+        dims <= 8 ? (std::size_t{1} << dims) : std::size_t{64};
+    for (std::size_t c = 0; c < total; ++c) {
+      linalg::Vector corner(dims);
+      for (std::size_t i = 0; i < dims; ++i) {
+        const bool high =
+            dims <= 8 ? ((c >> i) & 1u) != 0 : rng.uniform() < 0.5;
+        corner[i] = high ? hi[i] : lo[i];
+      }
+      corners.push_back({objective(corner), std::move(corner)});
+    }
+    std::sort(corners.begin(), corners.end(),
+              [](const ScoredCorner& a, const ScoredCorner& b) {
+                return a.score < b.score;
+              });
+    const std::size_t take =
+        std::min<std::size_t>(static_cast<std::size_t>(num_corners),
+                              corners.size());
+    for (std::size_t i = 0; i < take; ++i)
+      starts.push_back(std::move(corners[i].x));
+  }
+
+  opf::DirectSearchResult best;
+  bool first = true;
+  for (const linalg::Vector& start : starts) {
+    opf::DirectSearchResult r =
+        opf::nelder_mead_box(objective, lo, hi, start, options.search);
+    if (first || r.value < best.value) {
+      best = std::move(r);
+      first = false;
+    }
+  }
+
+  MtdSelectionResult result;
+  result.reactances = opf::expand_dfacts_reactances(sys, best.x);
+  result.dispatch = opf::solve_dc_opf(sys, result.reactances);
+  result.h_mtd = grid::measurement_matrix(sys, result.reactances);
+  result.spa = spa(h_attacker, result.h_mtd);
+  result.base_opf_cost = base_opf_cost;
+  if (result.dispatch.feasible) {
+    result.opf_cost = result.dispatch.cost;
+    result.cost_increase =
+        (result.opf_cost - base_opf_cost) / base_opf_cost;
+  }
+  result.feasible =
+      result.dispatch.feasible &&
+      result.spa >= options.gamma_threshold - options.constraint_tol;
+  return result;
+}
+
+}  // namespace mtdgrid::mtd

@@ -1,0 +1,23 @@
+#include "mtd/spa.hpp"
+
+#include <numbers>
+
+#include "linalg/subspace.hpp"
+
+namespace mtdgrid::mtd {
+
+double spa(const linalg::Matrix& h_old, const linalg::Matrix& h_new) {
+  return linalg::largest_principal_angle(h_old, h_new);
+}
+
+double smallest_angle(const linalg::Matrix& h_old,
+                      const linalg::Matrix& h_new) {
+  return linalg::smallest_principal_angle(h_old, h_new);
+}
+
+bool column_spaces_orthogonal(const linalg::Matrix& h_old,
+                              const linalg::Matrix& h_new, double tol) {
+  return smallest_angle(h_old, h_new) >= std::numbers::pi / 2.0 - tol;
+}
+
+}  // namespace mtdgrid::mtd

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace mtdgrid::mtd {
+
+/// The paper's MTD design metric gamma(H, H') between the column spaces of
+/// the pre- and post-perturbation measurement matrices, in radians in
+/// [0, pi/2].
+///
+/// Definitional note (documented in DESIGN.md): the paper's Definition V.1
+/// names the *smallest* principal angle, but the smallest angle is
+/// identically zero for every realizable D-FACTS perturbation — any state
+/// direction that is constant across the endpoints of all D-FACTS branches
+/// satisfies H c = H' c, so Col(H) and Col(H') always intersect when only
+/// a subset of lines is perturbed. The quantity that actually varies over
+/// [0, ~0.45] rad (as in the paper's Figs. 6-11) and that validates the
+/// residual bound ||r'_a|| <= sin(gamma) ||a|| (paper eq. (7)) is the
+/// *largest* principal angle — exactly what MATLAB's `subspace()` returns,
+/// which is what the paper's simulations used. This function therefore
+/// returns the largest principal angle:
+///
+///  * gamma == 0    : column spaces identical (e.g. H' = (1+eta) H); every
+///                    attack a = Hc stays stealthy.
+///  * gamma == pi/2 : some attack direction is driven fully out of
+///                    Col(H'); larger gamma forces more of every attack
+///                    into the residual and so raises detection.
+double spa(const linalg::Matrix& h_old, const linalg::Matrix& h_new);
+
+/// The literal smallest principal angle of Definition V.1, exposed for
+/// completeness and for the tests that demonstrate the subtlety above.
+double smallest_angle(const linalg::Matrix& h_old,
+                      const linalg::Matrix& h_new);
+
+/// Theorem-1 ideal-MTD check: true when the two column spaces are fully
+/// orthogonal (all principal angles equal pi/2 within `tol` radians).
+bool column_spaces_orthogonal(const linalg::Matrix& h_old,
+                              const linalg::Matrix& h_new,
+                              double tol = 1e-8);
+
+}  // namespace mtdgrid::mtd

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "grid/power_system.hpp"
+#include "linalg/vector.hpp"
+
+namespace mtdgrid::opf {
+
+/// Solution of the DC optimal power flow (paper problem (1) for fixed
+/// branch reactances): the least-cost generation dispatch that balances
+/// the load and respects flow and generator limits.
+struct DispatchResult {
+  bool feasible = false;
+  linalg::Vector generation_mw;  ///< per-generator dispatch G_i (MW)
+  linalg::Vector theta_reduced;  ///< bus angles, slack removed (rad)
+  linalg::Vector flows_mw;       ///< branch flows (MW)
+  double cost = 0.0;             ///< total generation cost, $/h
+};
+
+/// Solves the DC-OPF for the given branch reactances `x` (length L).
+/// Returns `feasible == false` when no dispatch satisfies the constraints.
+DispatchResult solve_dc_opf(const grid::PowerSystem& sys,
+                            const linalg::Vector& x);
+
+/// Solves the DC-OPF at the system's current nominal reactances.
+DispatchResult solve_dc_opf(const grid::PowerSystem& sys);
+
+/// Total generation cost of a dispatch under the system's linear cost
+/// model, sum_i c_i * G_i.
+double dispatch_cost(const grid::PowerSystem& sys,
+                     const linalg::Vector& generation_mw);
+
+}  // namespace mtdgrid::opf

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <functional>
+
+#include "linalg/vector.hpp"
+#include "stats/rng.hpp"
+
+namespace mtdgrid::opf {
+
+/// Options for the bound-constrained direct-search minimizers.
+struct DirectSearchOptions {
+  int max_evaluations = 4000;   ///< budget of objective evaluations
+  double initial_step = 0.25;   ///< simplex edge, relative to the box width
+  double tolerance = 1e-8;      ///< simplex-size convergence threshold
+};
+
+/// Result of a direct-search minimization.
+struct DirectSearchResult {
+  linalg::Vector x;       ///< best point found (inside the box)
+  double value = 0.0;     ///< objective at `x`
+  int evaluations = 0;    ///< number of objective evaluations used
+};
+
+/// Nelder-Mead simplex search restricted to the box [lo, hi] (iterates are
+/// projected onto the box). `x0` is the start point; it is clamped into the
+/// box. Suitable for the low-dimensional (|L_D| <= ~10) reactance searches
+/// this library performs; the objective may be non-smooth (it embeds an LP).
+DirectSearchResult nelder_mead_box(
+    const std::function<double(const linalg::Vector&)>& objective,
+    const linalg::Vector& lo, const linalg::Vector& hi,
+    const linalg::Vector& x0, const DirectSearchOptions& options = {});
+
+/// Multi-start wrapper mirroring the paper's fmincon+MultiStart usage:
+/// runs Nelder-Mead from `x0` plus `extra_starts` uniform random points in
+/// the box (drawn from `rng`) and returns the best result.
+DirectSearchResult multi_start_minimize(
+    const std::function<double(const linalg::Vector&)>& objective,
+    const linalg::Vector& lo, const linalg::Vector& hi,
+    const linalg::Vector& x0, int extra_starts, stats::Rng& rng,
+    const DirectSearchOptions& options = {});
+
+}  // namespace mtdgrid::opf

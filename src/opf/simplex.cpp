@@ -1,0 +1,336 @@
+#include "opf/simplex.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace mtdgrid::opf {
+
+namespace {
+
+constexpr double kPivotTol = 1e-9;
+constexpr double kFeasibilityTol = 1e-7;
+constexpr std::size_t kMaxIterations = 50000;
+
+/// How an original variable maps onto the non-negative standard-form ones.
+struct VariableMap {
+  enum class Kind {
+    kShifted,   // x = lb + y          (lb finite)
+    kNegated,   // x = ub - y          (lb = -inf, ub finite)
+    kSplit,     // x = y_pos - y_neg   (both bounds infinite)
+  } kind = Kind::kShifted;
+  std::size_t primary = 0;    // index of y (or y_pos)
+  std::size_t secondary = 0;  // index of y_neg for kSplit
+  double offset = 0.0;        // lb or ub used in the transform
+};
+
+/// Dense simplex tableau: `rows` constraint rows plus one cost row, with
+/// the right-hand side stored as the last column. Basis[i] is the variable
+/// whose column is the i-th unit vector.
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_((rows + 1) * (cols + 1), 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * (cols_ + 1) + c]; }
+  double at(std::size_t r, std::size_t c) const {
+    return data_[r * (cols_ + 1) + c];
+  }
+  double& rhs(std::size_t r) { return at(r, cols_); }
+  double rhs(std::size_t r) const { return at(r, cols_); }
+  double& cost(std::size_t c) { return at(rows_, c); }
+  double cost(std::size_t c) const { return at(rows_, c); }
+  double& cost_rhs() { return at(rows_, cols_); }
+  double cost_rhs() const { return at(rows_, cols_); }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Gauss-Jordan pivot on (pivot_row, pivot_col), including the cost row.
+  void pivot(std::size_t pivot_row, std::size_t pivot_col) {
+    const double pivot_value = at(pivot_row, pivot_col);
+    assert(std::abs(pivot_value) > kPivotTol);
+    const double inv = 1.0 / pivot_value;
+    for (std::size_t c = 0; c <= cols_; ++c) at(pivot_row, c) *= inv;
+    at(pivot_row, pivot_col) = 1.0;  // kill rounding noise
+    for (std::size_t r = 0; r <= rows_; ++r) {
+      if (r == pivot_row) continue;
+      const double factor = at(r, pivot_col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c <= cols_; ++c)
+        at(r, c) -= factor * at(pivot_row, c);
+      at(r, pivot_col) = 0.0;
+    }
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Runs Bland-rule simplex iterations on an already-canonical tableau.
+/// `allowed[c]` marks columns eligible to enter the basis.
+LpStatus iterate(Tableau& tab, std::vector<std::size_t>& basis,
+                 const std::vector<bool>& allowed) {
+  for (std::size_t iter = 0; iter < kMaxIterations; ++iter) {
+    // Bland's rule: smallest-index column with a negative reduced cost.
+    std::size_t entering = tab.cols();
+    for (std::size_t c = 0; c < tab.cols(); ++c) {
+      if (allowed[c] && tab.cost(c) < -kPivotTol) {
+        entering = c;
+        break;
+      }
+    }
+    if (entering == tab.cols()) return LpStatus::kOptimal;
+
+    // Ratio test; Bland tie-break on the leaving basis variable index.
+    std::size_t leaving = tab.rows();
+    double best_ratio = 0.0;
+    for (std::size_t r = 0; r < tab.rows(); ++r) {
+      const double a = tab.at(r, entering);
+      if (a <= kPivotTol) continue;
+      const double ratio = tab.rhs(r) / a;
+      if (leaving == tab.rows() || ratio < best_ratio - kPivotTol ||
+          (std::abs(ratio - best_ratio) <= kPivotTol &&
+           basis[r] < basis[leaving])) {
+        leaving = r;
+        best_ratio = ratio;
+      }
+    }
+    if (leaving == tab.rows()) return LpStatus::kUnbounded;
+
+    tab.pivot(leaving, entering);
+    basis[leaving] = entering;
+  }
+  return LpStatus::kIterationLimit;
+}
+
+}  // namespace
+
+void LinearProgram::validate() const {
+  const std::size_t n = num_variables();
+  if (lower_bounds.size() != n || upper_bounds.size() != n)
+    throw std::invalid_argument("LP: bound vector length mismatch");
+  if (eq_matrix.rows() != eq_rhs.size() ||
+      (eq_matrix.rows() > 0 && eq_matrix.cols() != n))
+    throw std::invalid_argument("LP: equality block dimension mismatch");
+  if (ub_matrix.rows() != ub_rhs.size() ||
+      (ub_matrix.rows() > 0 && ub_matrix.cols() != n))
+    throw std::invalid_argument("LP: inequality block dimension mismatch");
+  for (std::size_t j = 0; j < n; ++j)
+    if (lower_bounds[j] > upper_bounds[j])
+      throw std::invalid_argument("LP: crossed variable bounds");
+}
+
+LpSolution solve_linear_program(const LinearProgram& lp) {
+  lp.validate();
+  const std::size_t n = lp.num_variables();
+  const std::size_t m_eq = lp.eq_matrix.rows();
+  const std::size_t m_ub = lp.ub_matrix.rows();
+
+  // ---- 1. Map original variables onto non-negative standard-form ones.
+  std::vector<VariableMap> maps(n);
+  std::size_t num_std = 0;
+  std::size_t num_range_rows = 0;  // extra rows for doubly bounded variables
+  for (std::size_t j = 0; j < n; ++j) {
+    const double lb = lp.lower_bounds[j];
+    const double ub = lp.upper_bounds[j];
+    VariableMap& vm = maps[j];
+    if (std::isfinite(lb)) {
+      vm.kind = VariableMap::Kind::kShifted;
+      vm.offset = lb;
+      vm.primary = num_std++;
+      if (std::isfinite(ub)) ++num_range_rows;
+    } else if (std::isfinite(ub)) {
+      vm.kind = VariableMap::Kind::kNegated;
+      vm.offset = ub;
+      vm.primary = num_std++;
+    } else {
+      vm.kind = VariableMap::Kind::kSplit;
+      vm.primary = num_std++;
+      vm.secondary = num_std++;
+    }
+  }
+
+  const std::size_t num_slack = m_ub + num_range_rows;
+  const std::size_t m_total = m_eq + m_ub + num_range_rows;
+  const std::size_t num_cols = num_std + num_slack + m_total;  // + artificials
+  const std::size_t artificial_base = num_std + num_slack;
+
+  Tableau tab(m_total, num_cols);
+  std::vector<double> row_rhs(m_total, 0.0);
+
+  // Writes coefficient `coeff` for original variable j into tableau row r.
+  const auto add_entry = [&](std::size_t r, std::size_t j, double coeff) {
+    const VariableMap& vm = maps[j];
+    switch (vm.kind) {
+      case VariableMap::Kind::kShifted:
+        tab.at(r, vm.primary) += coeff;
+        row_rhs[r] -= coeff * vm.offset;
+        break;
+      case VariableMap::Kind::kNegated:
+        tab.at(r, vm.primary) -= coeff;
+        row_rhs[r] -= coeff * vm.offset;
+        break;
+      case VariableMap::Kind::kSplit:
+        tab.at(r, vm.primary) += coeff;
+        tab.at(r, vm.secondary) -= coeff;
+        break;
+    }
+  };
+
+  // ---- 2. Fill constraint rows.
+  for (std::size_t r = 0; r < m_eq; ++r) {
+    row_rhs[r] = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double coeff = lp.eq_matrix(r, j);
+      if (coeff != 0.0) add_entry(r, j, coeff);
+    }
+    row_rhs[r] += lp.eq_rhs[r];
+  }
+  for (std::size_t r = 0; r < m_ub; ++r) {
+    const std::size_t row = m_eq + r;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double coeff = lp.ub_matrix(r, j);
+      if (coeff != 0.0) add_entry(row, j, coeff);
+    }
+    row_rhs[row] += lp.ub_rhs[r];
+    tab.at(row, num_std + r) = 1.0;  // slack
+  }
+  {
+    std::size_t range_row = m_eq + m_ub;
+    std::size_t range_slack = num_std + m_ub;
+    for (std::size_t j = 0; j < n; ++j) {
+      const VariableMap& vm = maps[j];
+      if (vm.kind == VariableMap::Kind::kShifted &&
+          std::isfinite(lp.upper_bounds[j])) {
+        // y_j + s = ub - lb.
+        tab.at(range_row, vm.primary) = 1.0;
+        tab.at(range_row, range_slack) = 1.0;
+        row_rhs[range_row] = lp.upper_bounds[j] - lp.lower_bounds[j];
+        ++range_row;
+        ++range_slack;
+      }
+    }
+  }
+
+  // ---- 3. Normalize to b >= 0 and install artificial basis.
+  std::vector<std::size_t> basis(m_total);
+  for (std::size_t r = 0; r < m_total; ++r) {
+    if (row_rhs[r] < 0.0) {
+      for (std::size_t c = 0; c < num_cols; ++c) tab.at(r, c) = -tab.at(r, c);
+      row_rhs[r] = -row_rhs[r];
+    }
+    tab.rhs(r) = row_rhs[r];
+    tab.at(r, artificial_base + r) = 1.0;
+    basis[r] = artificial_base + r;
+  }
+
+  // ---- 4. Phase 1: minimize the sum of artificials.
+  // Reduced cost row: for each artificial cost 1, subtract its (basic) row.
+  for (std::size_t c = 0; c <= num_cols; ++c) tab.cost(c) = 0.0;
+  for (std::size_t c = 0; c < num_cols; ++c) {
+    if (c >= artificial_base) continue;
+    double acc = 0.0;
+    for (std::size_t r = 0; r < m_total; ++r) acc += tab.at(r, c);
+    tab.cost(c) = -acc;
+  }
+  {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < m_total; ++r) acc += tab.rhs(r);
+    tab.cost_rhs() = -acc;
+  }
+
+  std::vector<bool> allowed(num_cols, true);
+  LpStatus status = iterate(tab, basis, allowed);
+  if (status != LpStatus::kOptimal) {
+    return {status == LpStatus::kUnbounded ? LpStatus::kInfeasible : status,
+            {}, 0.0};
+  }
+  if (-tab.cost_rhs() > kFeasibilityTol) {
+    return {LpStatus::kInfeasible, {}, 0.0};
+  }
+
+  // Drive any residual basic artificials out (or detect redundant rows —
+  // they carry ~zero rhs and can simply stay pinned at zero).
+  for (std::size_t r = 0; r < m_total; ++r) {
+    if (basis[r] < artificial_base) continue;
+    std::size_t pivot_col = num_cols;
+    for (std::size_t c = 0; c < artificial_base; ++c) {
+      if (std::abs(tab.at(r, c)) > 1e-7) {
+        pivot_col = c;
+        break;
+      }
+    }
+    if (pivot_col != num_cols) {
+      tab.pivot(r, pivot_col);
+      basis[r] = pivot_col;
+    }
+  }
+
+  // ---- 5. Phase 2: original objective, artificial columns frozen.
+  for (std::size_t c = artificial_base; c < num_cols; ++c) allowed[c] = false;
+
+  std::vector<double> std_costs(num_std, 0.0);
+  double cost_offset = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double cj = lp.objective[j];
+    const VariableMap& vm = maps[j];
+    switch (vm.kind) {
+      case VariableMap::Kind::kShifted:
+        std_costs[vm.primary] += cj;
+        cost_offset += cj * vm.offset;
+        break;
+      case VariableMap::Kind::kNegated:
+        std_costs[vm.primary] -= cj;
+        cost_offset += cj * vm.offset;
+        break;
+      case VariableMap::Kind::kSplit:
+        std_costs[vm.primary] += cj;
+        std_costs[vm.secondary] -= cj;
+        break;
+    }
+  }
+  for (std::size_t c = 0; c <= num_cols; ++c) tab.cost(c) = 0.0;
+  for (std::size_t c = 0; c < num_std; ++c) tab.cost(c) = std_costs[c];
+  for (std::size_t r = 0; r < m_total; ++r) {
+    const std::size_t b = basis[r];
+    const double cb = (b < num_std) ? std_costs[b] : 0.0;
+    if (cb == 0.0) continue;
+    for (std::size_t c = 0; c <= num_cols; ++c)
+      tab.cost(c) -= cb * tab.at(r, c);
+  }
+
+  status = iterate(tab, basis, allowed);
+  if (status != LpStatus::kOptimal) return {status, {}, 0.0};
+
+  // ---- 6. Recover the original variables.
+  std::vector<double> std_values(num_std, 0.0);
+  for (std::size_t r = 0; r < m_total; ++r) {
+    if (basis[r] < num_std) std_values[basis[r]] = tab.rhs(r);
+  }
+  LpSolution solution;
+  solution.status = LpStatus::kOptimal;
+  solution.x = linalg::Vector(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const VariableMap& vm = maps[j];
+    switch (vm.kind) {
+      case VariableMap::Kind::kShifted:
+        solution.x[j] = vm.offset + std_values[vm.primary];
+        break;
+      case VariableMap::Kind::kNegated:
+        solution.x[j] = vm.offset - std_values[vm.primary];
+        break;
+      case VariableMap::Kind::kSplit:
+        solution.x[j] = std_values[vm.primary] - std_values[vm.secondary];
+        break;
+    }
+  }
+  solution.objective = lp.objective.dot(solution.x);
+  (void)cost_offset;  // folded into the dot product above
+  return solution;
+}
+
+}  // namespace mtdgrid::opf

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <limits>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace mtdgrid::opf {
+
+/// Value used for "no bound" entries in LinearProgram bound vectors.
+inline constexpr double kLpInfinity = std::numeric_limits<double>::infinity();
+
+/// A linear program in the general form
+///
+///   minimize    c^T x
+///   subject to  A_eq x  = b_eq
+///               A_ub x <= b_ub
+///               lb <= x <= ub          (entries may be +/- infinity)
+///
+/// This is the workhorse behind the DC optimal power flow: for fixed
+/// branch reactances, problem (1) of the paper is exactly such an LP in
+/// the dispatch and the voltage phase angles.
+struct LinearProgram {
+  linalg::Vector objective;
+  linalg::Matrix eq_matrix;  ///< may have zero rows
+  linalg::Vector eq_rhs;
+  linalg::Matrix ub_matrix;  ///< may have zero rows
+  linalg::Vector ub_rhs;
+  linalg::Vector lower_bounds;
+  linalg::Vector upper_bounds;
+
+  /// Number of decision variables.
+  std::size_t num_variables() const { return objective.size(); }
+
+  /// Throws std::invalid_argument when dimensions are inconsistent.
+  void validate() const;
+};
+
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  linalg::Vector x;        ///< optimal point (valid when kOptimal)
+  double objective = 0.0;  ///< optimal objective value (valid when kOptimal)
+};
+
+/// Solves the linear program with a dense two-phase primal simplex using
+/// Bland's anti-cycling rule. Intended for the small/medium LPs that arise
+/// from the benchmark grids (tens to a few hundred rows).
+LpSolution solve_linear_program(const LinearProgram& lp);
+
+}  // namespace mtdgrid::opf

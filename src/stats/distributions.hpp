@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+
+namespace mtdgrid::stats {
+
+/// Natural log of the Gamma function (Lanczos approximation), x > 0.
+double log_gamma(double x);
+
+/// Regularized lower incomplete gamma function P(a, x), a > 0, x >= 0.
+/// Series expansion for x < a + 1, continued fraction otherwise.
+double regularized_gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma function Q(a, x) = 1 - P(a, x).
+double regularized_gamma_q(double a, double x);
+
+/// CDF of the (central) chi-square distribution with `k` degrees of freedom.
+double chi_square_cdf(double x, double k);
+
+/// Quantile (inverse CDF) of the central chi-square distribution; p in
+/// (0, 1). Used to calibrate the BDD threshold for a target false-positive
+/// rate: tau^2 = chi_square_quantile(1 - alpha, dof).
+double chi_square_quantile(double p, double k);
+
+/// CDF of the noncentral chi-square distribution with `k` degrees of
+/// freedom and noncentrality `lambda` (the paper's Appendix B residual
+/// model: ||r'_n + r'_a||^2 with lambda = ||r'_a||^2 in noise-normalized
+/// units). Evaluated as a Poisson-weighted mixture of central CDFs.
+double noncentral_chi_square_cdf(double x, double k, double lambda);
+
+/// Survival function 1 - CDF of the noncentral chi-square distribution;
+/// this is the analytic attack-detection probability P(r' >= tau).
+double noncentral_chi_square_sf(double x, double k, double lambda);
+
+/// Standard normal CDF.
+double normal_cdf(double x);
+
+/// Descriptive statistics of a sample.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n - 1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+/// Computes the summary of `values[0..n)`; n may be zero.
+Summary summarize(const double* values, std::size_t n);
+
+}  // namespace mtdgrid::stats

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mtdgrid::stats {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256++).
+///
+/// Every stochastic component of the library (noise draws, random attack
+/// vectors, random MTD perturbations, multi-start optimization) takes an
+/// explicit `Rng&` so that simulations are reproducible run to run.
+class Rng {
+ public:
+  /// Seeds the generator; the same seed always yields the same stream.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n); requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal draw (Box-Muller, cached second value).
+  double gaussian();
+
+  /// Normal draw with the given mean and standard deviation.
+  double gaussian(double mean, double stddev);
+
+ private:
+  std::uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace mtdgrid::stats

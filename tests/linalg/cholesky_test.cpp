@@ -1,0 +1,57 @@
+#include "linalg/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/lu.hpp"
+#include "stats/rng.hpp"
+#include "test_util.hpp"
+
+namespace mtdgrid::linalg {
+namespace {
+
+TEST(CholeskyTest, SolvesKnownSpdSystem) {
+  Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  CholeskyDecomposition chol(a);
+  ASSERT_FALSE(chol.failed());
+  Vector x = chol.solve(Vector{8.0, 7.0});
+  // Verify against direct substitution.
+  EXPECT_NEAR(4.0 * x[0] + 2.0 * x[1], 8.0, 1e-12);
+  EXPECT_NEAR(2.0 * x[0] + 3.0 * x[1], 7.0, 1e-12);
+}
+
+TEST(CholeskyTest, FailsOnIndefiniteMatrix) {
+  Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3 and -1
+  CholeskyDecomposition chol(a);
+  EXPECT_TRUE(chol.failed());
+}
+
+TEST(CholeskyTest, FailsOnSingularMatrix) {
+  Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+  CholeskyDecomposition chol(a);
+  EXPECT_TRUE(chol.failed());
+}
+
+TEST(CholeskyTest, IdentitySolveReturnsRhs) {
+  CholeskyDecomposition chol(Matrix::identity(4));
+  ASSERT_FALSE(chol.failed());
+  Vector b{1.0, -2.0, 3.0, -4.0};
+  EXPECT_NEAR(max_abs_diff(chol.solve(b), b), 0.0, 1e-14);
+}
+
+// Property: Cholesky and LU agree on random SPD systems.
+class CholeskyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyProperty, AgreesWithLu) {
+  stats::Rng rng(GetParam());
+  const std::size_t n = 2 + static_cast<std::size_t>(GetParam()) % 6;
+  const Matrix a = test::random_spd_matrix(n, rng);
+  const Vector b = test::random_vector(n, rng);
+  CholeskyDecomposition chol(a);
+  ASSERT_FALSE(chol.failed());
+  EXPECT_NEAR(max_abs_diff(chol.solve(b), solve(a, b)), 0.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CholeskyProperty, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace mtdgrid::linalg

@@ -1,0 +1,122 @@
+#include "linalg/subspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "stats/rng.hpp"
+#include "test_util.hpp"
+
+namespace mtdgrid::linalg {
+namespace {
+
+TEST(SubspaceTest, IdenticalSubspacesHaveZeroAngles) {
+  stats::Rng rng(1);
+  const Matrix a = test::random_matrix(6, 3, rng);
+  const auto angles = principal_angles(a, a * 2.0);
+  ASSERT_EQ(angles.size(), 3u);
+  for (double theta : angles) EXPECT_NEAR(theta, 0.0, 1e-7);
+}
+
+TEST(SubspaceTest, OrthogonalAxesGiveRightAngle) {
+  // span{e1} vs span{e2} in R^3.
+  Matrix a{{1.0}, {0.0}, {0.0}};
+  Matrix b{{0.0}, {1.0}, {0.0}};
+  EXPECT_NEAR(smallest_principal_angle(a, b), std::numbers::pi / 2, 1e-12);
+  EXPECT_NEAR(largest_principal_angle(a, b), std::numbers::pi / 2, 1e-12);
+}
+
+TEST(SubspaceTest, KnownRotationAngle) {
+  // span{e1} vs span{cos t * e1 + sin t * e2}.
+  const double t = 0.3;
+  Matrix a{{1.0}, {0.0}};
+  Matrix b{{std::cos(t)}, {std::sin(t)}};
+  EXPECT_NEAR(smallest_principal_angle(a, b), t, 1e-12);
+}
+
+TEST(SubspaceTest, PlaneVsRotatedPlaneMixedAngles) {
+  // span{e1, e2} vs span{e1, cos t * e2 + sin t * e3}: angles {0, t}.
+  const double t = 0.7;
+  Matrix a{{1.0, 0.0}, {0.0, 1.0}, {0.0, 0.0}};
+  Matrix b{{1.0, 0.0}, {0.0, std::cos(t)}, {0.0, std::sin(t)}};
+  const auto angles = principal_angles(a, b);
+  ASSERT_EQ(angles.size(), 2u);
+  EXPECT_NEAR(angles[0], 0.0, 1e-10);
+  EXPECT_NEAR(angles[1], t, 1e-10);
+}
+
+TEST(SubspaceTest, AnglesAreSymmetric) {
+  stats::Rng rng(2);
+  const Matrix a = test::random_matrix(8, 3, rng);
+  const Matrix b = test::random_matrix(8, 4, rng);
+  const auto ab = principal_angles(a, b);
+  const auto ba = principal_angles(b, a);
+  ASSERT_EQ(ab.size(), ba.size());
+  for (std::size_t i = 0; i < ab.size(); ++i)
+    EXPECT_NEAR(ab[i], ba[i], 1e-9);
+}
+
+TEST(SubspaceTest, AngleCountIsMinRank) {
+  stats::Rng rng(3);
+  const Matrix a = test::random_matrix(9, 2, rng);
+  const Matrix b = test::random_matrix(9, 5, rng);
+  EXPECT_EQ(principal_angles(a, b).size(), 2u);
+}
+
+TEST(SubspaceTest, ColumnSpaceContainsItsOwnColumns) {
+  stats::Rng rng(4);
+  const Matrix a = test::random_matrix(7, 3, rng);
+  EXPECT_TRUE(column_space_contains(a, a.block(0, 0, 7, 2)));
+}
+
+TEST(SubspaceTest, ColumnSpaceContainsLinearCombinations) {
+  stats::Rng rng(5);
+  const Matrix a = test::random_matrix(6, 3, rng);
+  const Vector c = test::random_vector(3, rng);
+  EXPECT_TRUE(column_space_contains(a, Matrix::column(a * c)));
+}
+
+TEST(SubspaceTest, ColumnSpaceRejectsIndependentVector) {
+  Matrix a{{1.0, 0.0}, {0.0, 1.0}, {0.0, 0.0}};
+  Matrix b{{0.0}, {0.0}, {1.0}};
+  EXPECT_FALSE(column_space_contains(a, b));
+}
+
+TEST(SubspaceTest, ContainsZeroVectorTrivially) {
+  stats::Rng rng(6);
+  const Matrix a = test::random_matrix(5, 2, rng);
+  EXPECT_TRUE(column_space_contains(a, Matrix(5, 1)));
+}
+
+// Property: all principal angles lie in [0, pi/2] and are sorted.
+class SubspaceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubspaceProperty, AnglesSortedInRange) {
+  stats::Rng rng(GetParam() + 30);
+  const Matrix a = test::random_matrix(10, 3, rng);
+  const Matrix b = test::random_matrix(10, 4, rng);
+  const auto angles = principal_angles(a, b);
+  for (std::size_t i = 0; i < angles.size(); ++i) {
+    EXPECT_GE(angles[i], 0.0);
+    EXPECT_LE(angles[i], std::numbers::pi / 2 + 1e-12);
+    if (i > 0) EXPECT_GE(angles[i], angles[i - 1]);
+  }
+}
+
+TEST_P(SubspaceProperty, SharedColumnForcesZeroSmallestAngle) {
+  stats::Rng rng(GetParam() + 70);
+  const Vector shared = test::random_vector(8, rng);
+  Matrix a(8, 2), b(8, 3);
+  a.set_col(0, shared);
+  a.set_col(1, test::random_vector(8, rng));
+  b.set_col(0, shared * -2.5);
+  b.set_col(1, test::random_vector(8, rng));
+  b.set_col(2, test::random_vector(8, rng));
+  EXPECT_NEAR(smallest_principal_angle(a, b), 0.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubspaceProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace mtdgrid::linalg

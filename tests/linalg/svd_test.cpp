@@ -1,0 +1,112 @@
+#include "linalg/svd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+#include "test_util.hpp"
+
+namespace mtdgrid::linalg {
+namespace {
+
+Matrix reconstruct(const SvdDecomposition& svd) {
+  const Matrix sigma = Matrix::diagonal(svd.singular_values());
+  return svd.u() * sigma * svd.v().transposed();
+}
+
+TEST(SvdTest, DiagonalMatrixSingularValues) {
+  Matrix a = Matrix::diagonal(Vector{3.0, 1.0, 2.0});
+  SvdDecomposition svd(a);
+  ASSERT_EQ(svd.singular_values().size(), 3u);
+  EXPECT_NEAR(svd.singular_values()[0], 3.0, 1e-12);
+  EXPECT_NEAR(svd.singular_values()[1], 2.0, 1e-12);
+  EXPECT_NEAR(svd.singular_values()[2], 1.0, 1e-12);
+}
+
+TEST(SvdTest, SingularValuesSortedDescending) {
+  stats::Rng rng(1);
+  const Matrix a = test::random_matrix(8, 5, rng);
+  SvdDecomposition svd(a);
+  for (std::size_t i = 1; i < 5; ++i)
+    EXPECT_GE(svd.singular_values()[i - 1], svd.singular_values()[i]);
+}
+
+TEST(SvdTest, ReconstructsTallMatrix) {
+  stats::Rng rng(2);
+  const Matrix a = test::random_matrix(7, 4, rng);
+  EXPECT_NEAR(max_abs_diff(reconstruct(SvdDecomposition(a)), a), 0.0, 1e-9);
+}
+
+TEST(SvdTest, ReconstructsWideMatrix) {
+  stats::Rng rng(3);
+  const Matrix a = test::random_matrix(3, 6, rng);
+  EXPECT_NEAR(max_abs_diff(reconstruct(SvdDecomposition(a)), a), 0.0, 1e-9);
+}
+
+TEST(SvdTest, FactorsAreOrthonormal) {
+  stats::Rng rng(4);
+  const Matrix a = test::random_matrix(6, 4, rng);
+  SvdDecomposition svd(a);
+  EXPECT_NEAR(
+      max_abs_diff(svd.u().transpose_times(svd.u()), Matrix::identity(4)),
+      0.0, 1e-10);
+  EXPECT_NEAR(
+      max_abs_diff(svd.v().transpose_times(svd.v()), Matrix::identity(4)),
+      0.0, 1e-10);
+}
+
+TEST(SvdTest, RankOfLowRankMatrix) {
+  // Outer product: rank 1.
+  stats::Rng rng(5);
+  const Vector u = test::random_vector(6, rng);
+  const Vector v = test::random_vector(4, rng);
+  Matrix a(6, 4);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = u[i] * v[j];
+  EXPECT_EQ(SvdDecomposition(a).rank(), 1u);
+}
+
+TEST(SvdTest, SigmaMaxIsSpectralNorm) {
+  // For an orthogonal projection-like known matrix.
+  Matrix a{{2.0, 0.0}, {0.0, 0.5}};
+  SvdDecomposition svd(a);
+  EXPECT_NEAR(svd.sigma_max(), 2.0, 1e-12);
+  EXPECT_NEAR(svd.sigma_min(), 0.5, 1e-12);
+}
+
+TEST(SvdTest, EmptyMatrix) {
+  SvdDecomposition svd(Matrix{});
+  EXPECT_EQ(svd.rank(), 0u);
+  EXPECT_DOUBLE_EQ(svd.sigma_max(), 0.0);
+}
+
+TEST(SvdTest, ZeroMatrixHasZeroRank) {
+  SvdDecomposition svd(Matrix(4, 3));
+  EXPECT_EQ(svd.rank(), 0u);
+}
+
+// Property: Frobenius norm equals the 2-norm of the singular values, and
+// the SVD of A^T has the same spectrum.
+class SvdProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SvdProperty, FrobeniusMatchesSingularValues) {
+  stats::Rng rng(GetParam() + 10);
+  const std::size_t m = 3 + static_cast<std::size_t>(GetParam()) % 5;
+  const std::size_t n = 2 + static_cast<std::size_t>(GetParam()) % 4;
+  const Matrix a = test::random_matrix(m, n, rng);
+  SvdDecomposition svd(a);
+  EXPECT_NEAR(svd.singular_values().norm(), a.frobenius_norm(), 1e-9);
+}
+
+TEST_P(SvdProperty, TransposeHasSameSpectrum) {
+  stats::Rng rng(GetParam() + 60);
+  const Matrix a = test::random_matrix(5, 3, rng);
+  SvdDecomposition s1(a);
+  SvdDecomposition s2(a.transposed());
+  EXPECT_NEAR(max_abs_diff(s1.singular_values(), s2.singular_values()), 0.0,
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SvdProperty, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace mtdgrid::linalg

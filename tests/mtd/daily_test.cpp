@@ -1,0 +1,91 @@
+#include "mtd/daily.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/cases.hpp"
+
+namespace mtdgrid::mtd {
+namespace {
+
+DailySimulationOptions fast_options() {
+  DailySimulationOptions opt;
+  opt.effectiveness.num_attacks = 120;
+  opt.selection.extra_starts = 2;
+  opt.selection.search.max_evaluations = 400;
+  opt.gamma_grid = {0.05, 0.15, 0.25};
+  return opt;
+}
+
+TEST(DailyTest, ProducesCompleteFeasibleDay) {
+  const grid::PowerSystem sys = grid::make_case_ieee14();
+  const grid::DailyLoadTrace trace =
+      grid::DailyLoadTrace::nyiso_winter_weekday();
+  stats::Rng rng(1);
+  const auto records = run_daily_simulation(sys, trace, fast_options(), rng);
+  ASSERT_EQ(records.size(), 24u);
+  for (const HourlyRecord& r : records) {
+    EXPECT_TRUE(r.feasible) << "hour " << r.hour;
+    EXPECT_DOUBLE_EQ(r.total_load_mw, trace.total_mw(r.hour));
+    EXPECT_GT(r.base_opf_cost, 0.0);
+    EXPECT_GE(r.cost_increase_pct, 0.0);
+    EXPECT_GT(r.eta_at_target, 0.0);
+  }
+}
+
+TEST(DailyTest, NaturalReactanceDriftIsSmall) {
+  // gamma(H_t, H_t') must be nearly zero across the day (paper Fig. 11):
+  // the warm-started hourly OPF tracks the slowly varying load.
+  const grid::PowerSystem sys = grid::make_case_ieee14();
+  const grid::DailyLoadTrace trace =
+      grid::DailyLoadTrace::nyiso_winter_weekday();
+  stats::Rng rng(2);
+  const auto records = run_daily_simulation(sys, trace, fast_options(), rng);
+  double max_drift = 0.0;
+  for (const HourlyRecord& r : records)
+    max_drift = std::max(max_drift, r.gamma_ht_htp);
+  EXPECT_LT(max_drift, 0.12);
+}
+
+TEST(DailyTest, MtdAnglesDominateNaturalDrift) {
+  // The deliberate perturbation must rotate the column space much more
+  // than the natural load-driven drift does.
+  const grid::PowerSystem sys = grid::make_case_ieee14();
+  const grid::DailyLoadTrace trace =
+      grid::DailyLoadTrace::nyiso_winter_weekday();
+  stats::Rng rng(3);
+  const auto records = run_daily_simulation(sys, trace, fast_options(), rng);
+  double mean_mtd = 0.0, mean_drift = 0.0;
+  for (const HourlyRecord& r : records) {
+    mean_mtd += r.gamma_htp_hmtd;
+    mean_drift += r.gamma_ht_htp;
+  }
+  EXPECT_GT(mean_mtd / 24.0, 3.0 * (mean_drift / 24.0));
+}
+
+TEST(DailyTest, AttackerViewApproximatesDefenderView) {
+  // gamma(H_t, H'_t') ~ gamma(H_t', H'_t'): the approximation the paper's
+  // Section VI argues from temporal load correlation.
+  const grid::PowerSystem sys = grid::make_case_ieee14();
+  const grid::DailyLoadTrace trace =
+      grid::DailyLoadTrace::nyiso_winter_weekday();
+  stats::Rng rng(4);
+  const auto records = run_daily_simulation(sys, trace, fast_options(), rng);
+  for (const HourlyRecord& r : records) {
+    EXPECT_NEAR(r.gamma_ht_hmtd, r.gamma_htp_hmtd, 0.12)
+        << "hour " << r.hour;
+  }
+}
+
+TEST(DailyTest, RejectsEmptyGammaGrid) {
+  const grid::PowerSystem sys = grid::make_case_ieee14();
+  const grid::DailyLoadTrace trace =
+      grid::DailyLoadTrace::nyiso_winter_weekday();
+  stats::Rng rng(5);
+  DailySimulationOptions opt = fast_options();
+  opt.gamma_grid.clear();
+  EXPECT_THROW(run_daily_simulation(sys, trace, opt, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtdgrid::mtd

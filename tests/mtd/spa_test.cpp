@@ -1,0 +1,111 @@
+#include "mtd/spa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "grid/cases.hpp"
+#include "grid/measurement.hpp"
+#include "linalg/qr.hpp"
+#include "stats/rng.hpp"
+#include "test_util.hpp"
+
+namespace mtdgrid::mtd {
+namespace {
+
+TEST(SpaTest, UniformScalingGivesZeroAngle) {
+  // H' = (1 + eta) H: the paper's perfectly aligned case (Fig. 4a).
+  const grid::PowerSystem sys = grid::make_case_ieee14();
+  const linalg::Matrix h = grid::measurement_matrix(sys);
+  EXPECT_NEAR(spa(h, h * 1.2), 0.0, 1e-7);
+  EXPECT_NEAR(smallest_angle(h, h * 1.2), 0.0, 1e-7);
+}
+
+TEST(SpaTest, OrthogonalComplementGivesRightAngle) {
+  // Theorem 1's ideal MTD: Col(H') orthogonal to Col(H). Build H' as an
+  // orthonormal basis of the orthogonal complement.
+  stats::Rng rng(1);
+  const linalg::Matrix h = test::random_matrix(10, 3, rng);
+  const linalg::Matrix q = linalg::orthonormal_column_basis(h);
+  // Complement: residuals of random vectors after projection onto Col(H).
+  linalg::Matrix comp(10, 4);
+  for (std::size_t j = 0; j < 4; ++j) {
+    linalg::Vector v = test::random_vector(10, rng);
+    v -= q * q.transpose_times(v);
+    comp.set_col(j, v);
+  }
+  EXPECT_NEAR(spa(h, comp), std::numbers::pi / 2, 1e-7);
+  EXPECT_NEAR(smallest_angle(h, comp), std::numbers::pi / 2, 1e-7);
+  EXPECT_TRUE(column_spaces_orthogonal(h, comp));
+}
+
+TEST(SpaTest, NotOrthogonalForRealisticPerturbations) {
+  const grid::PowerSystem sys = grid::make_case_ieee14();
+  const linalg::Matrix h = grid::measurement_matrix(sys);
+  linalg::Vector x = sys.reactances();
+  for (std::size_t l : sys.dfacts_branches()) x[l] *= 1.5;
+  EXPECT_FALSE(column_spaces_orthogonal(h, grid::measurement_matrix(sys, x)));
+}
+
+TEST(SpaTest, SmallestAngleIsZeroForDfactsSubsetPerturbations) {
+  // The definitional subtlety documented in mtd/spa.hpp: any state
+  // direction constant across all D-FACTS endpoints stays in both column
+  // spaces, so the literal Definition-V.1 smallest angle is always zero
+  // while the operative (largest) angle is strictly positive.
+  const grid::PowerSystem sys = grid::make_case_ieee14();
+  const linalg::Matrix h = grid::measurement_matrix(sys);
+  linalg::Vector x = sys.reactances();
+  for (std::size_t l : sys.dfacts_branches()) x[l] *= 1.45;
+  const linalg::Matrix h_new = grid::measurement_matrix(sys, x);
+  EXPECT_NEAR(smallest_angle(h, h_new), 0.0, 1e-6);
+  EXPECT_GT(spa(h, h_new), 0.05);
+}
+
+TEST(SpaTest, SymmetricInArguments) {
+  const grid::PowerSystem sys = grid::make_case_ieee14();
+  const linalg::Matrix h = grid::measurement_matrix(sys);
+  linalg::Vector x = sys.reactances();
+  x[0] *= 1.3;
+  x[4] *= 0.7;
+  const linalg::Matrix h_new = grid::measurement_matrix(sys, x);
+  EXPECT_NEAR(spa(h, h_new), spa(h_new, h), 1e-9);
+}
+
+TEST(SpaTest, GrowsWithPerturbationSize) {
+  // Monotone trend along a one-parameter family of perturbations.
+  const grid::PowerSystem sys = grid::make_case_ieee14();
+  const linalg::Matrix h = grid::measurement_matrix(sys);
+  double prev = -1.0;
+  for (double eta : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+    linalg::Vector x = sys.reactances();
+    for (std::size_t l : sys.dfacts_branches()) x[l] *= (1.0 + eta);
+    const double gamma = spa(h, grid::measurement_matrix(sys, x));
+    EXPECT_GT(gamma, prev);
+    prev = gamma;
+  }
+}
+
+TEST(SpaTest, ZeroForIdenticalMatrices) {
+  const grid::PowerSystem sys = grid::make_case_wscc9();
+  const linalg::Matrix h = grid::measurement_matrix(sys);
+  // acos near 1 amplifies rounding: cos(theta) = 1 - eps gives
+  // theta ~ sqrt(2 eps), so ~1e-7 is the numerical floor here.
+  EXPECT_NEAR(spa(h, h), 0.0, 1e-6);
+}
+
+TEST(SpaTest, BoundedByRightAngle) {
+  const grid::PowerSystem sys = grid::make_case_ieee30();
+  const linalg::Matrix h = grid::measurement_matrix(sys);
+  stats::Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    linalg::Vector x = sys.reactances();
+    for (std::size_t l : sys.dfacts_branches())
+      x[l] *= rng.uniform(0.5, 1.5);
+    const double gamma = spa(h, grid::measurement_matrix(sys, x));
+    EXPECT_GE(gamma, 0.0);
+    EXPECT_LE(gamma, std::numbers::pi / 2 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace mtdgrid::mtd

@@ -1,0 +1,174 @@
+#include "opf/dc_opf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/cases.hpp"
+#include "grid/power_flow.hpp"
+
+namespace mtdgrid::opf {
+namespace {
+
+using grid::Branch;
+using grid::Bus;
+using grid::Generator;
+using grid::PowerSystem;
+
+PowerSystem uncongested_two_gen() {
+  // Two generators, generous line limits: pure merit-order dispatch.
+  std::vector<Bus> buses = {{0.0}, {80.0}, {40.0}};
+  std::vector<Branch> branches(3);
+  branches[0] = {.from = 0, .to = 1, .reactance = 0.1,
+                 .flow_limit_mw = 500.0};
+  branches[1] = {.from = 1, .to = 2, .reactance = 0.1,
+                 .flow_limit_mw = 500.0};
+  branches[2] = {.from = 0, .to = 2, .reactance = 0.1,
+                 .flow_limit_mw = 500.0};
+  std::vector<Generator> gens = {
+      {.bus = 0, .min_mw = 0.0, .max_mw = 100.0, .cost_per_mwh = 5.0},
+      {.bus = 2, .min_mw = 0.0, .max_mw = 100.0, .cost_per_mwh = 50.0}};
+  return PowerSystem("twogen", buses, branches, gens);
+}
+
+TEST(DcOpfTest, MeritOrderWhenUncongested) {
+  const PowerSystem sys = uncongested_two_gen();
+  const DispatchResult r = solve_dc_opf(sys);
+  ASSERT_TRUE(r.feasible);
+  // Cheap generator covers everything it can.
+  EXPECT_NEAR(r.generation_mw[0], 100.0, 1e-6);
+  EXPECT_NEAR(r.generation_mw[1], 20.0, 1e-6);
+  EXPECT_NEAR(r.cost, 100.0 * 5.0 + 20.0 * 50.0, 1e-6);
+}
+
+TEST(DcOpfTest, GenerationBalancesLoad) {
+  for (const PowerSystem& sys :
+       {grid::make_case4(), grid::make_case_ieee14(),
+        grid::make_case_ieee30(), grid::make_case_wscc9()}) {
+    const DispatchResult r = solve_dc_opf(sys);
+    ASSERT_TRUE(r.feasible) << sys.name();
+    EXPECT_NEAR(r.generation_mw.sum(), sys.total_load_mw(), 1e-6)
+        << sys.name();
+  }
+}
+
+TEST(DcOpfTest, FlowLimitsRespected) {
+  for (const PowerSystem& sys :
+       {grid::make_case4(), grid::make_case_ieee14(),
+        grid::make_case_ieee30()}) {
+    const DispatchResult r = solve_dc_opf(sys);
+    ASSERT_TRUE(r.feasible) << sys.name();
+    for (std::size_t l = 0; l < sys.num_branches(); ++l) {
+      EXPECT_LE(std::abs(r.flows_mw[l]),
+                sys.branch(l).flow_limit_mw + 1e-6)
+          << sys.name() << " line " << l;
+    }
+  }
+}
+
+TEST(DcOpfTest, GeneratorLimitsRespected) {
+  const PowerSystem sys = grid::make_case_ieee14();
+  const DispatchResult r = solve_dc_opf(sys);
+  ASSERT_TRUE(r.feasible);
+  for (std::size_t g = 0; g < sys.num_generators(); ++g) {
+    EXPECT_GE(r.generation_mw[g], sys.generator(g).min_mw - 1e-9);
+    EXPECT_LE(r.generation_mw[g], sys.generator(g).max_mw + 1e-9);
+  }
+}
+
+TEST(DcOpfTest, CongestionForcesRedispatch) {
+  // Two buses joined by parallel lines; tightening them strands the cheap
+  // generator and forces the expensive local unit to run.
+  const auto build = [](double line_limit) {
+    std::vector<Bus> buses = {{0.0}, {50.0}};
+    std::vector<Branch> branches(2);
+    branches[0] = {.from = 0, .to = 1, .reactance = 0.1,
+                   .flow_limit_mw = line_limit};
+    branches[1] = {.from = 0, .to = 1, .reactance = 0.1,
+                   .flow_limit_mw = line_limit};
+    std::vector<Generator> gens = {
+        {.bus = 0, .min_mw = 0.0, .max_mw = 100.0, .cost_per_mwh = 5.0},
+        {.bus = 1, .min_mw = 0.0, .max_mw = 100.0, .cost_per_mwh = 50.0}};
+    return PowerSystem("parallel", buses, branches, gens);
+  };
+  const DispatchResult wide = solve_dc_opf(build(100.0));
+  ASSERT_TRUE(wide.feasible);
+  EXPECT_NEAR(wide.cost, 50.0 * 5.0, 1e-6);  // cheap unit serves everything
+
+  const DispatchResult tight = solve_dc_opf(build(15.0));
+  ASSERT_TRUE(tight.feasible);
+  // Import capped at 30 MW, local unit covers the remaining 20 MW.
+  EXPECT_NEAR(tight.generation_mw[0], 30.0, 1e-6);
+  EXPECT_NEAR(tight.generation_mw[1], 20.0, 1e-6);
+  EXPECT_GT(tight.cost, wide.cost + 1.0);
+}
+
+TEST(DcOpfTest, InfeasibleWhenLoadExceedsCapacity) {
+  std::vector<Bus> buses = {{0.0}, {300.0}};
+  std::vector<Branch> branches(1);
+  branches[0] = {.from = 0, .to = 1, .reactance = 0.1,
+                 .flow_limit_mw = 500.0};
+  std::vector<Generator> gens = {
+      {.bus = 0, .min_mw = 0.0, .max_mw = 100.0, .cost_per_mwh = 5.0}};
+  const PowerSystem sys("overload", buses, branches, gens);
+  EXPECT_FALSE(solve_dc_opf(sys).feasible);
+}
+
+TEST(DcOpfTest, InfeasibleWhenLineTooSmall) {
+  std::vector<Bus> buses = {{0.0}, {50.0}};
+  std::vector<Branch> branches(1);
+  branches[0] = {.from = 0, .to = 1, .reactance = 0.1, .flow_limit_mw = 20.0};
+  std::vector<Generator> gens = {
+      {.bus = 0, .min_mw = 0.0, .max_mw = 100.0, .cost_per_mwh = 5.0}};
+  const PowerSystem sys("thinline", buses, branches, gens);
+  EXPECT_FALSE(solve_dc_opf(sys).feasible);
+}
+
+TEST(DcOpfTest, FlowsConsistentWithAngles) {
+  const PowerSystem sys = grid::make_case_ieee14();
+  const DispatchResult r = solve_dc_opf(sys);
+  ASSERT_TRUE(r.feasible);
+  const linalg::Vector recomputed =
+      grid::branch_flows(sys, sys.reactances(), r.theta_reduced);
+  EXPECT_NEAR(linalg::max_abs_diff(recomputed, r.flows_mw), 0.0, 1e-9);
+}
+
+TEST(DcOpfTest, DispatchCostHelperMatchesSolution) {
+  const PowerSystem sys = grid::make_case_ieee14();
+  const DispatchResult r = solve_dc_opf(sys);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(dispatch_cost(sys, r.generation_mw), r.cost, 1e-8);
+}
+
+TEST(DcOpfTest, ReactanceChangeAffectsCostUnderCongestion) {
+  // On the paper's 4-bus system a +20% perturbation on line 1 (Table III
+  // Delta-x1) forces a re-dispatch with a strictly higher cost.
+  const PowerSystem sys = grid::make_case4();
+  const double base_cost = solve_dc_opf(sys).cost;
+  linalg::Vector x = sys.reactances();
+  x[0] *= 1.2;
+  const DispatchResult r = solve_dc_opf(sys, x);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GT(r.cost, base_cost);
+}
+
+// Property: OPF cost is monotone non-decreasing in total load scaling.
+class DcOpfLoadMonotoneProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(DcOpfLoadMonotoneProperty, CostIncreasesWithLoad) {
+  PowerSystem sys = grid::make_case_ieee14();
+  const double scale = GetParam();
+  const double cost_base = solve_dc_opf(sys).cost;
+  sys.scale_loads(scale);
+  const DispatchResult r = solve_dc_opf(sys);
+  ASSERT_TRUE(r.feasible);
+  if (scale >= 1.0) {
+    EXPECT_GE(r.cost, cost_base - 1e-6);
+  } else {
+    EXPECT_LE(r.cost, cost_base + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, DcOpfLoadMonotoneProperty,
+                         ::testing::Values(0.55, 0.7, 0.85, 1.0, 1.1, 1.2));
+
+}  // namespace
+}  // namespace mtdgrid::opf

@@ -1,0 +1,107 @@
+#include "opf/direct_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mtdgrid::opf {
+namespace {
+
+using linalg::Vector;
+
+TEST(DirectSearchTest, MinimizesConvexQuadratic) {
+  const auto f = [](const Vector& x) {
+    return (x[0] - 1.5) * (x[0] - 1.5) + 2.0 * (x[1] + 0.5) * (x[1] + 0.5);
+  };
+  const auto r = nelder_mead_box(f, Vector{-5.0, -5.0}, Vector{5.0, 5.0},
+                                 Vector{4.0, 4.0});
+  EXPECT_NEAR(r.x[0], 1.5, 1e-4);
+  EXPECT_NEAR(r.x[1], -0.5, 1e-4);
+  EXPECT_NEAR(r.value, 0.0, 1e-7);
+}
+
+TEST(DirectSearchTest, RespectsBoxWhenOptimumOutside) {
+  // Unconstrained optimum at x = 10 but box caps at 2.
+  const auto f = [](const Vector& x) { return (x[0] - 10.0) * (x[0] - 10.0); };
+  const auto r =
+      nelder_mead_box(f, Vector{0.0}, Vector{2.0}, Vector{1.0});
+  EXPECT_NEAR(r.x[0], 2.0, 1e-5);
+}
+
+TEST(DirectSearchTest, StartOutsideBoxIsClamped) {
+  const auto f = [](const Vector& x) { return x[0] * x[0]; };
+  const auto r =
+      nelder_mead_box(f, Vector{-1.0}, Vector{1.0}, Vector{50.0});
+  EXPECT_NEAR(r.x[0], 0.0, 1e-5);
+}
+
+TEST(DirectSearchTest, HonorsEvaluationBudget) {
+  int evals = 0;
+  const auto f = [&](const Vector& x) {
+    ++evals;
+    return x.dot(x);
+  };
+  DirectSearchOptions opts;
+  opts.max_evaluations = 37;
+  const auto r = nelder_mead_box(f, Vector(4, -1.0), Vector(4, 1.0),
+                                 Vector(4, 0.9), opts);
+  EXPECT_LE(evals, 45);  // small overshoot from the final shrink loop
+  EXPECT_EQ(r.evaluations, evals);
+}
+
+TEST(DirectSearchTest, RosenbrockValleyProgress) {
+  // Banana function: hard for direct search, but it must reach the valley.
+  const auto f = [](const Vector& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  DirectSearchOptions opts;
+  opts.max_evaluations = 5000;
+  const auto r = nelder_mead_box(f, Vector{-2.0, -2.0}, Vector{2.0, 2.0},
+                                 Vector{-1.5, 1.5}, opts);
+  EXPECT_LT(r.value, 1e-3);
+}
+
+TEST(DirectSearchTest, MultiStartEscapesLocalMinimum) {
+  // Double well: local minimum at x ~ -1 (value 1), global at x ~ +2
+  // (value 0). A single NM run from the left basin stalls at the local one.
+  const auto f = [](const Vector& x) {
+    const double left = (x[0] + 1.0) * (x[0] + 1.0) + 1.0;
+    const double right = (x[0] - 2.0) * (x[0] - 2.0);
+    return std::min(left, right);
+  };
+  const Vector lo{-4.0}, hi{4.0}, start{-1.2};
+
+  DirectSearchOptions opts;
+  opts.initial_step = 0.05;  // keep the single run inside the left basin
+  const auto single = nelder_mead_box(f, lo, hi, start, opts);
+  EXPECT_NEAR(single.value, 1.0, 1e-3);
+
+  stats::Rng rng(5);
+  const auto multi = multi_start_minimize(f, lo, hi, start, 8, rng, opts);
+  EXPECT_NEAR(multi.value, 0.0, 1e-3);
+  EXPECT_NEAR(multi.x[0], 2.0, 1e-2);
+}
+
+TEST(DirectSearchTest, MultiStartAccumulatesEvaluations) {
+  const auto f = [](const Vector& x) { return x.dot(x); };
+  stats::Rng rng(1);
+  DirectSearchOptions opts;
+  opts.max_evaluations = 100;
+  const auto r = multi_start_minimize(f, Vector(2, -1.0), Vector(2, 1.0),
+                                      Vector(2, 0.5), 3, rng, opts);
+  EXPECT_GT(r.evaluations, 100);  // more than one start ran
+}
+
+TEST(DirectSearchTest, DegenerateBoxSingleFeasiblePoint) {
+  // lo == hi pins the variable; search must simply return it.
+  const auto f = [](const Vector& x) { return x[0] * x[0] + x[1]; };
+  const auto r = nelder_mead_box(f, Vector{2.0, 0.0}, Vector{2.0, 1.0},
+                                 Vector{2.0, 0.7});
+  EXPECT_DOUBLE_EQ(r.x[0], 2.0);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace mtdgrid::opf

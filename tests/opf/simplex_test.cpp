@@ -1,0 +1,231 @@
+#include "opf/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace mtdgrid::opf {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+LinearProgram boxed_lp(std::size_t n) {
+  LinearProgram lp;
+  lp.objective = Vector(n);
+  lp.lower_bounds = Vector(n);
+  lp.upper_bounds = Vector(n);
+  return lp;
+}
+
+TEST(SimplexTest, PureBoxProblem) {
+  // min x0 - 2 x1 with 0 <= x <= 3: optimum at (0, 3).
+  LinearProgram lp = boxed_lp(2);
+  lp.objective = Vector{1.0, -2.0};
+  lp.lower_bounds = Vector{0.0, 0.0};
+  lp.upper_bounds = Vector{3.0, 3.0};
+  const LpSolution s = solve_linear_program(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 0.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 3.0, 1e-9);
+  EXPECT_NEAR(s.objective, -6.0, 1e-9);
+}
+
+TEST(SimplexTest, ClassicTwoVariableProblem) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+  // Optimum (2, 6), value 36 -> minimize the negation.
+  LinearProgram lp = boxed_lp(2);
+  lp.objective = Vector{-3.0, -5.0};
+  lp.ub_matrix = Matrix{{1.0, 0.0}, {0.0, 2.0}, {3.0, 2.0}};
+  lp.ub_rhs = Vector{4.0, 12.0, 18.0};
+  lp.lower_bounds = Vector{0.0, 0.0};
+  lp.upper_bounds = Vector{kLpInfinity, kLpInfinity};
+  const LpSolution s = solve_linear_program(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-8);
+  EXPECT_NEAR(s.x[1], 6.0, 1e-8);
+  EXPECT_NEAR(s.objective, -36.0, 1e-8);
+}
+
+TEST(SimplexTest, EqualityConstrainedProblem) {
+  // min x + 2y + 3z s.t. x + y + z = 10, x <= 4, y <= 4, z <= 4... optimum
+  // fills cheapest first: x = 4, y = 4, z = 2, cost 4 + 8 + 6 = 18.
+  LinearProgram lp = boxed_lp(3);
+  lp.objective = Vector{1.0, 2.0, 3.0};
+  lp.eq_matrix = Matrix{{1.0, 1.0, 1.0}};
+  lp.eq_rhs = Vector{10.0};
+  lp.lower_bounds = Vector{0.0, 0.0, 0.0};
+  lp.upper_bounds = Vector{4.0, 4.0, 4.0};
+  const LpSolution s = solve_linear_program(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 4.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 4.0, 1e-9);
+  EXPECT_NEAR(s.x[2], 2.0, 1e-9);
+  EXPECT_NEAR(s.objective, 18.0, 1e-9);
+}
+
+TEST(SimplexTest, FreeVariables) {
+  // min |free structure|: min y s.t. y >= x - 1, y >= -x + 1 has no lower
+  // bound on x; with y >= 0 the optimum is y = 0 at x = 1.
+  // Formulated as: min y s.t. x - y <= 1, -x - y <= -1.
+  LinearProgram lp = boxed_lp(2);
+  lp.objective = Vector{0.0, 1.0};
+  lp.ub_matrix = Matrix{{1.0, -1.0}, {-1.0, -1.0}};
+  lp.ub_rhs = Vector{1.0, -1.0};
+  lp.lower_bounds = Vector{-kLpInfinity, 0.0};
+  lp.upper_bounds = Vector{kLpInfinity, kLpInfinity};
+  const LpSolution s = solve_linear_program(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 0.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 1.0, 1e-8);
+}
+
+TEST(SimplexTest, NegativeLowerBounds) {
+  // min x with -5 <= x <= -2: optimum -5.
+  LinearProgram lp = boxed_lp(1);
+  lp.objective = Vector{1.0};
+  lp.lower_bounds = Vector{-5.0};
+  lp.upper_bounds = Vector{-2.0};
+  const LpSolution s = solve_linear_program(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], -5.0, 1e-9);
+}
+
+TEST(SimplexTest, UpperBoundOnlyVariable) {
+  // max x (min -x) with x <= 7 and no lower bound -> x = 7.
+  LinearProgram lp = boxed_lp(1);
+  lp.objective = Vector{-1.0};
+  lp.lower_bounds = Vector{-kLpInfinity};
+  lp.upper_bounds = Vector{7.0};
+  const LpSolution s = solve_linear_program(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 7.0, 1e-9);
+}
+
+TEST(SimplexTest, DetectsInfeasibility) {
+  // x >= 0, x <= -1 via inequality row.
+  LinearProgram lp = boxed_lp(1);
+  lp.objective = Vector{1.0};
+  lp.ub_matrix = Matrix{{1.0}};
+  lp.ub_rhs = Vector{-1.0};
+  lp.lower_bounds = Vector{0.0};
+  lp.upper_bounds = Vector{kLpInfinity};
+  EXPECT_EQ(solve_linear_program(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsInfeasibleEqualities) {
+  // x + y = 1 and x + y = 2 cannot both hold.
+  LinearProgram lp = boxed_lp(2);
+  lp.objective = Vector{1.0, 1.0};
+  lp.eq_matrix = Matrix{{1.0, 1.0}, {1.0, 1.0}};
+  lp.eq_rhs = Vector{1.0, 2.0};
+  lp.lower_bounds = Vector{0.0, 0.0};
+  lp.upper_bounds = Vector{kLpInfinity, kLpInfinity};
+  EXPECT_EQ(solve_linear_program(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnboundedness) {
+  // min -x with x >= 0 and no other constraint.
+  LinearProgram lp = boxed_lp(1);
+  lp.objective = Vector{-1.0};
+  lp.lower_bounds = Vector{0.0};
+  lp.upper_bounds = Vector{kLpInfinity};
+  EXPECT_EQ(solve_linear_program(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, HandlesRedundantEqualities) {
+  // Duplicate rows must not break phase 1.
+  LinearProgram lp = boxed_lp(2);
+  lp.objective = Vector{1.0, 1.0};
+  lp.eq_matrix = Matrix{{1.0, 1.0}, {1.0, 1.0}};
+  lp.eq_rhs = Vector{4.0, 4.0};
+  lp.lower_bounds = Vector{0.0, 0.0};
+  lp.upper_bounds = Vector{kLpInfinity, kLpInfinity};
+  const LpSolution s = solve_linear_program(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 4.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple constraints active at the optimum (degeneracy): Bland's rule
+  // must still terminate.
+  LinearProgram lp = boxed_lp(2);
+  lp.objective = Vector{-1.0, -1.0};
+  lp.ub_matrix = Matrix{{1.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};
+  lp.ub_rhs = Vector{1.0, 1.0, 1.0, 2.0};
+  lp.lower_bounds = Vector{0.0, 0.0};
+  lp.upper_bounds = Vector{kLpInfinity, kLpInfinity};
+  const LpSolution s = solve_linear_program(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -2.0, 1e-9);
+}
+
+TEST(SimplexTest, ValidatesDimensions) {
+  LinearProgram lp = boxed_lp(2);
+  lp.eq_matrix = Matrix{{1.0}};  // wrong column count
+  lp.eq_rhs = Vector{1.0};
+  EXPECT_THROW(solve_linear_program(lp), std::invalid_argument);
+
+  LinearProgram lp2 = boxed_lp(2);
+  lp2.lower_bounds = Vector{1.0, 1.0};
+  lp2.upper_bounds = Vector{0.0, 2.0};  // crossed bounds
+  EXPECT_THROW(solve_linear_program(lp2), std::invalid_argument);
+}
+
+// Property: for random box-constrained LPs with no other constraints, the
+// optimum is the analytic bound selection.
+class SimplexBoxProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexBoxProperty, MatchesAnalyticBoxOptimum) {
+  stats::Rng rng(GetParam());
+  const std::size_t n = 3 + static_cast<std::size_t>(GetParam()) % 5;
+  LinearProgram lp = boxed_lp(n);
+  double expected = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    lp.objective[j] = rng.gaussian();
+    lp.lower_bounds[j] = -1.0 - rng.uniform();
+    lp.upper_bounds[j] = 1.0 + rng.uniform();
+    expected += lp.objective[j] * (lp.objective[j] >= 0.0
+                                       ? lp.lower_bounds[j]
+                                       : lp.upper_bounds[j]);
+  }
+  const LpSolution s = solve_linear_program(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, expected, 1e-8);
+}
+
+// Property: transportation-style LPs — supply nodes to demand nodes; the
+// solution must be feasible and match the greedy cost on a 1-demand case.
+TEST_P(SimplexBoxProperty, SingleDemandMeritOrder) {
+  stats::Rng rng(GetParam() + 500);
+  const std::size_t n = 4;
+  LinearProgram lp = boxed_lp(n);
+  double demand = 0.0;
+  std::vector<std::pair<double, double>> merit;  // (cost, cap)
+  for (std::size_t j = 0; j < n; ++j) {
+    lp.objective[j] = 1.0 + rng.uniform();
+    lp.lower_bounds[j] = 0.0;
+    lp.upper_bounds[j] = 1.0 + rng.uniform();
+    merit.emplace_back(lp.objective[j], lp.upper_bounds[j]);
+    demand += 0.4 * lp.upper_bounds[j];
+  }
+  lp.eq_matrix = Matrix(1, n);
+  for (std::size_t j = 0; j < n; ++j) lp.eq_matrix(0, j) = 1.0;
+  lp.eq_rhs = Vector{demand};
+
+  std::sort(merit.begin(), merit.end());
+  double remaining = demand, greedy_cost = 0.0;
+  for (const auto& [cost, cap] : merit) {
+    const double take = std::min(cap, remaining);
+    greedy_cost += cost * take;
+    remaining -= take;
+  }
+  const LpSolution s = solve_linear_program(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, greedy_cost, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexBoxProperty, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace mtdgrid::opf

@@ -1,0 +1,99 @@
+#include "stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mtdgrid::stats {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIndexStaysInRange) {
+  Rng rng(10);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform_index(13), 13u);
+}
+
+TEST(RngTest, UniformIndexCoversAllValues) {
+  Rng rng(11);
+  int counts[5] = {0, 0, 0, 0, 0};
+  for (int i = 0; i < 5000; ++i) ++counts[rng.uniform_index(5)];
+  for (int c : counts) EXPECT_GT(c, 800);  // ~1000 each
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng rng(12);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianWithMeanAndStddev) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian(10.0, 2.0);
+    sum += g;
+    sum_sq += (g - 10.0) * (g - 10.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sum_sq / n), 2.0, 0.05);
+}
+
+TEST(RngTest, GaussianTailsAreReasonable) {
+  Rng rng(14);
+  int beyond3 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (std::abs(rng.gaussian()) > 3.0) ++beyond3;
+  // P(|Z| > 3) ~ 0.0027.
+  EXPECT_GT(beyond3, 100);
+  EXPECT_LT(beyond3, 600);
+}
+
+}  // namespace
+}  // namespace mtdgrid::stats

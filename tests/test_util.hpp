@@ -1,0 +1,35 @@
+#pragma once
+
+// Shared helpers for the mtdgrid test suite: deterministic random matrices
+// and vectors built on the library RNG so every test is reproducible.
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "stats/rng.hpp"
+
+namespace mtdgrid::test {
+
+inline linalg::Vector random_vector(std::size_t n, stats::Rng& rng,
+                                    double scale = 1.0) {
+  linalg::Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = scale * rng.gaussian();
+  return v;
+}
+
+inline linalg::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                                    stats::Rng& rng, double scale = 1.0) {
+  linalg::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = scale * rng.gaussian();
+  return m;
+}
+
+/// Random symmetric positive-definite matrix A = B^T B + eps I.
+inline linalg::Matrix random_spd_matrix(std::size_t n, stats::Rng& rng) {
+  const linalg::Matrix b = random_matrix(n + 2, n, rng);
+  linalg::Matrix a = b.transpose_times(b);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 0.5;
+  return a;
+}
+
+}  // namespace mtdgrid::test

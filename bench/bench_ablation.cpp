@@ -24,7 +24,7 @@ namespace {
 using namespace mtdgrid;
 
 struct Context {
-  grid::PowerSystem sys = grid::make_case_ieee14();
+  grid::PowerSystem sys = grid::make_case14();
   linalg::Matrix h0;
   double base_cost = 0.0;
   linalg::Vector x_mtd;

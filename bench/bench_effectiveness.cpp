@@ -152,7 +152,7 @@ void run_experiment() {
       "the achievable\nceiling (the paper's axis reaches 0.45 rad; our "
       "D-FACTS model tops out at ~0.26 rad\nfrom the nominal reactances — "
       "see EXPERIMENTS.md). FP rate 5e-4.");
-  run_figure(grid::make_case_ieee14(),
+  run_figure(grid::make_case14(),
              {0.025, 0.05, 0.075, 0.10, 0.125, 0.15, 0.175, 0.20, 0.225,
               0.25},
              /*use_problem4=*/true, scale, 101);
@@ -166,7 +166,7 @@ void run_experiment() {
 }
 
 void BM_EffectivenessEvaluation(benchmark::State& state) {
-  grid::PowerSystem sys = grid::make_case_ieee14();
+  grid::PowerSystem sys = grid::make_case14();
   stats::Rng rng(7);
   const linalg::Matrix h0 = grid::measurement_matrix(sys);
   linalg::Vector x = sys.reactances();
@@ -186,7 +186,7 @@ void BM_EffectivenessEvaluation(benchmark::State& state) {
 BENCHMARK(BM_EffectivenessEvaluation)->Arg(100)->Arg(500);
 
 void BM_SpaComputation(benchmark::State& state) {
-  const grid::PowerSystem sys = grid::make_case_ieee14();
+  const grid::PowerSystem sys = grid::make_case14();
   const linalg::Matrix h0 = grid::measurement_matrix(sys);
   linalg::Vector x = sys.reactances();
   for (std::size_t l : sys.dfacts_branches()) x[l] *= 1.25;

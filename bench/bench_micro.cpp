@@ -25,8 +25,9 @@ grid::PowerSystem system_for(int id) {
   switch (id) {
     case 0: return grid::make_case4();
     case 1: return grid::make_case_wscc9();
-    case 2: return grid::make_case_ieee14();
-    default: return grid::make_case_ieee30();
+    case 2: return grid::make_case14();
+    case 3: return grid::make_case_ieee30();
+    default: return grid::make_case57();
   }
 }
 
@@ -35,7 +36,8 @@ const char* system_name(int id) {
     case 0: return "case4";
     case 1: return "wscc9";
     case 2: return "ieee14";
-    default: return "ieee30";
+    case 3: return "ieee30";
+    default: return "case57";
   }
 }
 
@@ -47,7 +49,7 @@ void BM_MeasurementMatrix(benchmark::State& state) {
   }
   state.SetLabel(system_name(static_cast<int>(state.range(0))));
 }
-BENCHMARK(BM_MeasurementMatrix)->DenseRange(0, 3);
+BENCHMARK(BM_MeasurementMatrix)->DenseRange(0, 4);
 
 void BM_DcPowerFlow(benchmark::State& state) {
   const grid::PowerSystem sys = system_for(static_cast<int>(state.range(0)));
@@ -61,7 +63,7 @@ void BM_DcPowerFlow(benchmark::State& state) {
   }
   state.SetLabel(system_name(static_cast<int>(state.range(0))));
 }
-BENCHMARK(BM_DcPowerFlow)->DenseRange(0, 3);
+BENCHMARK(BM_DcPowerFlow)->DenseRange(0, 4);
 
 void BM_DispatchLp(benchmark::State& state) {
   const grid::PowerSystem sys = system_for(static_cast<int>(state.range(0)));
@@ -70,7 +72,7 @@ void BM_DispatchLp(benchmark::State& state) {
   }
   state.SetLabel(system_name(static_cast<int>(state.range(0))));
 }
-BENCHMARK(BM_DispatchLp)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DispatchLp)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
 
 void BM_EstimatorConstruction(benchmark::State& state) {
   const grid::PowerSystem sys = system_for(static_cast<int>(state.range(0)));
@@ -81,10 +83,10 @@ void BM_EstimatorConstruction(benchmark::State& state) {
   }
   state.SetLabel(system_name(static_cast<int>(state.range(0))));
 }
-BENCHMARK(BM_EstimatorConstruction)->DenseRange(0, 3);
+BENCHMARK(BM_EstimatorConstruction)->DenseRange(0, 4);
 
 void BM_WlsEstimate(benchmark::State& state) {
-  const grid::PowerSystem sys = grid::make_case_ieee14();
+  const grid::PowerSystem sys = grid::make_case14();
   const linalg::Matrix h = grid::measurement_matrix(sys);
   const estimation::StateEstimator est(h, 1.0);
   stats::Rng rng(1);
@@ -97,7 +99,7 @@ void BM_WlsEstimate(benchmark::State& state) {
 BENCHMARK(BM_WlsEstimate);
 
 void BM_ResidualNorm(benchmark::State& state) {
-  const grid::PowerSystem sys = grid::make_case_ieee14();
+  const grid::PowerSystem sys = grid::make_case14();
   const linalg::Matrix h = grid::measurement_matrix(sys);
   const estimation::StateEstimator est(h, 1.0);
   stats::Rng rng(2);
@@ -120,10 +122,10 @@ void BM_Spa(benchmark::State& state) {
   }
   state.SetLabel(system_name(static_cast<int>(state.range(0))));
 }
-BENCHMARK(BM_Spa)->DenseRange(0, 3);
+BENCHMARK(BM_Spa)->DenseRange(0, 4);
 
 void BM_AnalyticDetectionProbability(benchmark::State& state) {
-  const grid::PowerSystem sys = grid::make_case_ieee14();
+  const grid::PowerSystem sys = grid::make_case14();
   const linalg::Matrix h0 = grid::measurement_matrix(sys);
   linalg::Vector x = sys.reactances();
   for (std::size_t l : sys.dfacts_branches()) x[l] *= 1.3;

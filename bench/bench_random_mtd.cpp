@@ -38,7 +38,7 @@ struct Baseline {
 };
 
 Baseline make_baseline() {
-  grid::PowerSystem sys = grid::make_case_ieee14();
+  grid::PowerSystem sys = grid::make_case14();
   const opf::DispatchResult base = opf::solve_dc_opf(sys);
   Baseline b{std::move(sys), {}, {}};
   b.h0 = grid::measurement_matrix(b.sys);
@@ -105,7 +105,7 @@ void run_fig8(const Baseline& b, bench::Scale scale) {
 }
 
 void BM_RandomPerturbationDraw(benchmark::State& state) {
-  const grid::PowerSystem sys = grid::make_case_ieee14();
+  const grid::PowerSystem sys = grid::make_case14();
   stats::Rng rng(3);
   const linalg::Vector x0 = sys.reactances();
   for (auto _ : state) {

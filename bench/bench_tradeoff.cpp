@@ -21,7 +21,7 @@ using namespace mtdgrid;
 
 void run_experiment() {
   const bench::Scale scale = bench::scale_from_env();
-  grid::PowerSystem sys = grid::make_case_ieee14();
+  grid::PowerSystem sys = grid::make_case14();
   const grid::DailyLoadTrace trace =
       grid::DailyLoadTrace::nyiso_winter_weekday();
   const linalg::Vector base_loads = sys.loads_mw();
@@ -88,7 +88,7 @@ void run_experiment() {
 }
 
 void BM_Problem4Selection(benchmark::State& state) {
-  grid::PowerSystem sys = grid::make_case_ieee14();
+  grid::PowerSystem sys = grid::make_case14();
   stats::Rng rng(5);
   const opf::ReactanceOpfResult base = opf::solve_reactance_opf(sys, rng);
   const linalg::Matrix h0 = grid::measurement_matrix(sys, base.reactances);

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
                 trough, peak);
   }
 
-  const grid::PowerSystem sys = grid::make_case_ieee14();
+  const grid::PowerSystem sys = grid::make_case14();
   mtd::DailySimulationOptions options;
   options.effectiveness.num_attacks = 300;
   options.selection.extra_starts = 4;

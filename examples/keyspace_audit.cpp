@@ -7,7 +7,7 @@
 // current measurement matrix, and reports the distribution — then contrasts
 // it with a single SPA-designed perturbation at the same device limits.
 //
-// Usage: keyspace_audit [case4|wscc9|ieee14|ieee30] [keyspace_size]
+// Usage: keyspace_audit [case4|wscc9|ieee14|ieee30|case57] [keyspace_size]
 
 #include <algorithm>
 #include <cstdio>
@@ -35,6 +35,8 @@ int main(int argc, char** argv) {
     if (case_name == "case4") return grid::make_case4();
     if (case_name == "wscc9") return grid::make_case_wscc9();
     if (case_name == "ieee30") return grid::make_case_ieee30();
+    if (case_name == "case57" || case_name == "ieee57")
+      return grid::make_case57();
     return grid::make_case_ieee14();
   }();
 

@@ -28,7 +28,7 @@ int main() {
   stats::Rng rng(42);
 
   // --- 1. The grid and its optimal operating point -----------------------
-  grid::PowerSystem sys = grid::make_case_ieee14();
+  grid::PowerSystem sys = grid::make_case14();
   const opf::DispatchResult base = opf::solve_dc_opf(sys);
   std::printf("IEEE 14-bus: %zu buses, %zu lines, load %.0f MW\n",
               sys.num_buses(), sys.num_branches(), sys.total_load_mw());

@@ -1,5 +1,8 @@
 #include "grid/cases.hpp"
 
+#include <algorithm>
+#include <iterator>
+
 namespace mtdgrid::grid {
 
 namespace {
@@ -182,6 +185,91 @@ PowerSystem make_case_wscc9() {
       make_generator(3, 270.0, 20.0),
   };
   return PowerSystem("wscc9", std::move(buses), std::move(branches),
+                     std::move(generators));
+}
+
+PowerSystem make_case14() { return make_case_ieee14(); }
+
+PowerSystem make_case57() {
+  std::vector<Bus> buses(57);
+  // MATPOWER case57 loads (MW); total 1250.8.
+  const struct {
+    std::size_t bus_1based;
+    double load;
+  } kLoads[] = {
+      {1, 55.0},  {2, 3.0},   {3, 41.0},  {5, 13.0},  {6, 75.0},
+      {8, 150.0}, {9, 121.0}, {10, 5.0},  {12, 377.0}, {13, 18.0},
+      {14, 10.5}, {15, 22.0}, {16, 43.0}, {17, 42.0}, {18, 27.2},
+      {19, 3.3},  {20, 2.3},  {23, 6.3},  {25, 6.3},  {27, 9.3},
+      {28, 4.6},  {29, 17.0}, {30, 3.6},  {31, 5.8},  {32, 1.6},
+      {33, 3.8},  {35, 6.0},  {38, 14.0}, {41, 6.3},  {42, 7.1},
+      {43, 2.0},  {44, 12.0}, {47, 29.7}, {49, 18.0}, {50, 21.0},
+      {51, 18.0}, {52, 4.9},  {53, 20.0}, {54, 4.1},  {55, 6.8},
+      {56, 7.6},  {57, 6.7},
+  };
+  for (const auto& entry : kLoads)
+    buses[entry.bus_1based - 1].load_mw = entry.load;
+
+  // MATPOWER case57 branch list (from, to, reactance), including the two
+  // parallel circuits on 4-18 and 24-25. Flow limits group the branches
+  // into the heavy 1..17 transmission backbone, the medium corridors, and
+  // the light radial spurs; all were sized against the base-case DC-OPF
+  // flows (max |F| ~= 318 MW on branch 8-9).
+  struct Row {
+    std::size_t from, to;
+    double x;
+    double limit;
+  };
+  static constexpr Row kRows[] = {
+      {1, 2, 0.0280, 250},   {2, 3, 0.0850, 200},   {3, 4, 0.0366, 150},
+      {4, 5, 0.1320, 100},   {4, 6, 0.1480, 100},   {6, 7, 0.1020, 150},
+      {6, 8, 0.1730, 150},   {8, 9, 0.0505, 400},   {9, 10, 0.1679, 100},
+      {9, 11, 0.0848, 100},  {9, 12, 0.2950, 150},  {9, 13, 0.1580, 100},
+      {13, 14, 0.0434, 100}, {13, 15, 0.0869, 150}, {1, 15, 0.0910, 250},
+      {1, 16, 0.2060, 150},  {1, 17, 0.1080, 200},  {3, 15, 0.0530, 150},
+      {4, 18, 0.5550, 60},   {4, 18, 0.4300, 60},   {5, 6, 0.0641, 100},
+      {7, 8, 0.0712, 200},   {10, 12, 0.1262, 100}, {11, 13, 0.0732, 100},
+      {12, 13, 0.0580, 200}, {12, 16, 0.0813, 100}, {12, 17, 0.1790, 150},
+      {14, 15, 0.0547, 130}, {18, 19, 0.6850, 40},  {19, 20, 0.4340, 40},
+      {21, 20, 0.7767, 40},  {21, 22, 0.1170, 60},  {22, 23, 0.0152, 60},
+      {23, 24, 0.2560, 60},  {24, 25, 1.1820, 40},  {24, 25, 1.2300, 40},
+      {24, 26, 0.0473, 60},  {26, 27, 0.2540, 60},  {27, 28, 0.0954, 60},
+      {28, 29, 0.0587, 60},  {7, 29, 0.0648, 100},  {25, 30, 0.2020, 40},
+      {30, 31, 0.4970, 40},  {31, 32, 0.7550, 40},  {32, 33, 0.0360, 40},
+      {34, 32, 0.9530, 40},  {34, 35, 0.0780, 40},  {35, 36, 0.0537, 40},
+      {36, 37, 0.0366, 40},  {37, 38, 0.1009, 60},  {37, 39, 0.0379, 40},
+      {36, 40, 0.0466, 40},  {22, 38, 0.0295, 60},  {11, 41, 0.7490, 40},
+      {41, 42, 0.3520, 40},  {41, 43, 0.4120, 40},  {38, 44, 0.0585, 60},
+      {15, 45, 0.1042, 100}, {14, 46, 0.0735, 100}, {46, 47, 0.0680, 100},
+      {47, 48, 0.0233, 100}, {48, 49, 0.1290, 100}, {49, 50, 0.1280, 60},
+      {50, 51, 0.2200, 60},  {10, 51, 0.0712, 100}, {13, 49, 0.1910, 100},
+      {29, 52, 0.1870, 60},  {52, 53, 0.0984, 60},  {53, 54, 0.2320, 60},
+      {54, 55, 0.2265, 60},  {11, 43, 0.1530, 60},  {44, 45, 0.1242, 100},
+      {40, 56, 1.1950, 40},  {56, 41, 0.5490, 40},  {56, 42, 0.3540, 40},
+      {39, 57, 1.3550, 40},  {57, 56, 0.2600, 40},  {38, 49, 0.1770, 60},
+      {38, 48, 0.0482, 60},  {9, 55, 0.1205, 100},
+  };
+  // D-FACTS on ten branches spread over the backbone, the 22-38 corridor,
+  // and the 46-49 ring (0-based indices into kRows).
+  const std::size_t kDfacts[] = {0, 7, 14, 24, 32, 40, 48, 52, 60, 64};
+
+  std::vector<Branch> branches;
+  branches.reserve(std::size(kRows));
+  for (std::size_t l = 0; l < std::size(kRows); ++l) {
+    const bool dfacts = std::find(std::begin(kDfacts), std::end(kDfacts),
+                                  l) != std::end(kDfacts);
+    branches.push_back(make_branch(kRows[l].from, kRows[l].to, kRows[l].x,
+                                   kRows[l].limit, dfacts));
+  }
+
+  // MATPOWER case57 capacities with linearized merit-order costs ($/MWh).
+  std::vector<Generator> generators = {
+      make_generator(1, 575.88, 20.0), make_generator(2, 100.0, 40.0),
+      make_generator(3, 140.0, 30.0),  make_generator(6, 100.0, 45.0),
+      make_generator(8, 550.0, 22.0),  make_generator(9, 100.0, 42.0),
+      make_generator(12, 410.0, 28.0),
+  };
+  return PowerSystem("case57", std::move(buses), std::move(branches),
                      std::move(generators));
 }
 

@@ -31,4 +31,19 @@ PowerSystem make_case_ieee30();
 /// for tests and examples. D-FACTS on three branches.
 PowerSystem make_case_wscc9();
 
+/// Canonical short name for the IEEE 14-bus scenario; identical to
+/// `make_case_ieee14()`. Exists so the scenario matrix reads
+/// case4 / case14 / case57 uniformly.
+PowerSystem make_case14();
+
+/// IEEE 57-bus system (MATPOWER `case57` topology: 57 buses, 80 branches
+/// including the 4-18 and 24-25 parallel circuits, loads totalling
+/// 1250.8 MW). Generators at buses {1, 2, 3, 6, 8, 9, 12} with MATPOWER
+/// capacities and linearized merit-order costs. D-FACTS devices on ten
+/// branches spread across the network with eta_max = 0.5. Flow limits are
+/// sized from the base-case DC-OPF so the nominal dispatch is feasible
+/// with margin while large reactance perturbations can still force a
+/// re-dispatch.
+PowerSystem make_case57();
+
 }  // namespace mtdgrid::grid

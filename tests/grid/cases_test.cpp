@@ -92,7 +92,7 @@ TEST(CasesTest, Wscc9Structure) {
 TEST(CasesTest, AllCasesSolveBaseOpf) {
   for (const PowerSystem& sys :
        {make_case4(), make_case_ieee14(), make_case_ieee30(),
-        make_case_wscc9()}) {
+        make_case_wscc9(), make_case57()}) {
     const opf::DispatchResult r = opf::solve_dc_opf(sys);
     EXPECT_TRUE(r.feasible) << sys.name();
     EXPECT_NEAR(r.generation_mw.sum(), sys.total_load_mw(), 1e-6)
@@ -104,7 +104,7 @@ TEST(CasesTest, AllCasesHaveGenerationHeadroom) {
   // Capacity margin so the dynamic-load experiments can scale loads up.
   for (const PowerSystem& sys :
        {make_case4(), make_case_ieee14(), make_case_ieee30(),
-        make_case_wscc9()}) {
+        make_case_wscc9(), make_case57()}) {
     double capacity = 0.0;
     for (std::size_t g = 0; g < sys.num_generators(); ++g)
       capacity += sys.generator(g).max_mw;

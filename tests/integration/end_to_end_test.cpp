@@ -66,6 +66,34 @@ TEST(EndToEndTest, Wscc9PipelineIsEffective) {
   EXPECT_GT(r.effectiveness.eta[0], 0.5);
 }
 
+TEST(EndToEndTest, Case57PipelineIsEffective) {
+  // IEEE 57-bus: the largest scenario. A trimmed search budget keeps the
+  // 217 x 56 measurement-model pipeline inside test-suite time while still
+  // demanding a defense that detects most attacks at delta = 0.5.
+  const grid::PowerSystem sys = grid::make_case57();
+  stats::Rng rng(9);
+  const opf::DispatchResult base = opf::solve_dc_opf(sys);
+  ASSERT_TRUE(base.feasible);
+  const linalg::Matrix h_attacker = grid::measurement_matrix(sys);
+
+  mtd::MtdSelectionOptions sel;
+  sel.gamma_threshold = 0.12;
+  sel.extra_starts = 1;
+  sel.search.max_evaluations = 150;
+  const mtd::MtdSelectionResult selection =
+      mtd::select_mtd_perturbation(sys, h_attacker, base.cost, sel, rng);
+  ASSERT_TRUE(selection.dispatch.feasible);
+
+  const linalg::Vector z_ref = grid::noiseless_measurements(
+      sys, selection.reactances, selection.dispatch.theta_reduced);
+  mtd::EffectivenessOptions eff;
+  eff.num_attacks = 100;
+  eff.sigma_mw = 0.05;
+  const mtd::EffectivenessResult effectiveness = mtd::evaluate_effectiveness(
+      h_attacker, selection.h_mtd, z_ref, eff, rng);
+  EXPECT_GT(effectiveness.eta[0], 0.5);
+}
+
 TEST(EndToEndTest, DesignedMtdBeatsRandomBaseline) {
   // The paper's headline comparison (Fig. 7/8 vs Fig. 6): an SPA-designed
   // perturbation achieves far higher eta'(delta) than random +/-2%

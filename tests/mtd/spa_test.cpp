@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <numbers>
 
+#include "attack/fdi_attack.hpp"
+#include "estimation/state_estimator.hpp"
 #include "grid/cases.hpp"
 #include "grid/measurement.hpp"
 #include "linalg/qr.hpp"
@@ -91,6 +95,62 @@ TEST(SpaTest, ZeroForIdenticalMatrices) {
   // acos near 1 amplifies rounding: cos(theta) = 1 - eps gives
   // theta ~ sqrt(2 eps), so ~1e-7 is the numerical floor here.
   EXPECT_NEAR(spa(h, h), 0.0, 1e-6);
+}
+
+TEST(SpaTest, ResidualBoundEq7HoldsOnRandomizedPerturbations) {
+  // Paper eq. (7): for any attack a = H c stealthy under the old matrix,
+  // the attack component of the post-MTD residual obeys
+  // ||r'_a|| <= sin(gamma(H, H')) ||a||. With unit sensor noise the
+  // estimator's attack_residual_norm is exactly ||(I - P') a||, so this is
+  // the property that ties the SPA design metric to BDD detection power.
+  stats::Rng rng(11);
+  for (const grid::PowerSystem& sys :
+       {grid::make_case4(), grid::make_case14()}) {
+    const linalg::Matrix h = grid::measurement_matrix(sys);
+    for (int trial = 0; trial < 8; ++trial) {
+      linalg::Vector x = sys.reactances();
+      for (std::size_t l : sys.dfacts_branches())
+        x[l] *= rng.uniform(0.5, 1.5);
+      const linalg::Matrix h_new = grid::measurement_matrix(sys, x);
+      const double sin_gamma = std::sin(spa(h, h_new));
+      const estimation::StateEstimator est(h_new, /*sigma=*/1.0);
+      for (int k = 0; k < 5; ++k) {
+        const attack::FdiAttack atk = attack::make_stealthy_attack(
+            h, test::random_vector(h.cols(), rng));
+        const double a_norm = atk.a.norm();
+        ASSERT_GT(a_norm, 0.0);
+        EXPECT_LE(est.attack_residual_norm(atk.a),
+                  sin_gamma * a_norm + 1e-8 * a_norm)
+            << sys.name() << " trial " << trial << " attack " << k;
+      }
+    }
+  }
+}
+
+TEST(SpaTest, ResidualBoundEq7IsTightForWorstCaseAttack) {
+  // The bound is attained by the attack direction realizing the largest
+  // principal angle, so sin(gamma) ||a|| must not overshoot the supremum
+  // of ||r'_a|| / ||a|| by more than numerical slack: check that some
+  // random attack gets within 60% of it on case4 (n = 3, so random
+  // directions land close to the extremal one).
+  stats::Rng rng(13);
+  const grid::PowerSystem sys = grid::make_case4();
+  const linalg::Matrix h = grid::measurement_matrix(sys);
+  linalg::Vector x = sys.reactances();
+  x[0] *= 1.5;
+  const linalg::Matrix h_new = grid::measurement_matrix(sys, x);
+  const double sin_gamma = std::sin(spa(h, h_new));
+  ASSERT_GT(sin_gamma, 0.01);
+  const estimation::StateEstimator est(h_new, 1.0);
+  double best_ratio = 0.0;
+  for (int k = 0; k < 200; ++k) {
+    const attack::FdiAttack atk = attack::make_stealthy_attack(
+        h, test::random_vector(h.cols(), rng));
+    best_ratio = std::max(
+        best_ratio, est.attack_residual_norm(atk.a) / atk.a.norm());
+  }
+  EXPECT_GT(best_ratio, 0.6 * sin_gamma);
+  EXPECT_LE(best_ratio, sin_gamma + 1e-8);
 }
 
 TEST(SpaTest, BoundedByRightAngle) {

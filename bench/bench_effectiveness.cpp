@@ -185,6 +185,36 @@ void BM_EffectivenessEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_EffectivenessEvaluation)->Arg(100)->Arg(500);
 
+// Batched vs per-candidate effectiveness: the batched API draws the attack
+// sample once for the whole candidate set, so the speedup approaches
+// (sample + score) / score per candidate.
+void BM_EffectivenessBatched(benchmark::State& state) {
+  grid::PowerSystem sys = grid::make_case14();
+  stats::Rng rng(7);
+  const linalg::Matrix h0 = grid::measurement_matrix(sys);
+  std::vector<linalg::Matrix> candidates;
+  for (double factor : {0.8, 0.9, 1.1, 1.2, 1.3, 1.35, 1.4, 1.45}) {
+    linalg::Vector x = sys.reactances();
+    for (std::size_t l : sys.dfacts_branches()) x[l] *= factor;
+    candidates.push_back(grid::measurement_matrix(sys, x));
+  }
+  linalg::Vector x = sys.reactances();
+  for (std::size_t l : sys.dfacts_branches()) x[l] *= 1.35;
+  const opf::DispatchResult d = opf::solve_dc_opf(sys, x);
+  const linalg::Vector z_ref =
+      grid::noiseless_measurements(sys, x, d.theta_reduced);
+  mtd::EffectivenessOptions eff;
+  eff.num_attacks = static_cast<int>(state.range(0));
+  eff.sigma_mw = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mtd::evaluate_candidates(h0, candidates, z_ref, eff, rng));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int>(candidates.size()));
+}
+BENCHMARK(BM_EffectivenessBatched)->Arg(100)->Arg(500);
+
 void BM_SpaComputation(benchmark::State& state) {
   const grid::PowerSystem sys = grid::make_case14();
   const linalg::Matrix h0 = grid::measurement_matrix(sys);

@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <vector>
+
 #include "attack/fdi_attack.hpp"
 #include "estimation/bdd.hpp"
 #include "estimation/detection.hpp"
@@ -12,6 +15,7 @@
 #include "grid/cases.hpp"
 #include "grid/measurement.hpp"
 #include "grid/power_flow.hpp"
+#include "linalg/subspace.hpp"
 #include "linalg/svd.hpp"
 #include "mtd/spa.hpp"
 #include "opf/dc_opf.hpp"
@@ -141,6 +145,128 @@ void BM_AnalyticDetectionProbability(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AnalyticDetectionProbability);
+
+// --- the SPA/selection hot path: SVD baseline vs QR fast path -----------
+//
+// The candidate sweep below is the inner loop of the MTD selection search
+// (paper problem (4)): every candidate needs the dispatch and the gamma
+// against the attacker matrix. The *Svd variants are the pre-optimization
+// reference (full H rebuild + Bjorck-Golub SVD spa + one simplex solve per
+// candidate); the *Fast variants are the shipped path (SpaEvaluator rank-k
+// updates + DispatchEvaluator merit-order certificate). CI guards the Fast
+// timings against bench/baseline.json and asserts Fast >= 5x Svd.
+
+std::vector<linalg::Vector> selection_candidates(
+    const grid::PowerSystem& sys, int count) {
+  // Deterministic candidate sweep across the D-FACTS box.
+  stats::Rng rng(1234);
+  const linalg::Vector lo = sys.reactance_lower_limits();
+  const linalg::Vector hi = sys.reactance_upper_limits();
+  std::vector<linalg::Vector> candidates;
+  candidates.reserve(count);
+  for (int c = 0; c < count; ++c) {
+    linalg::Vector x = sys.reactances();
+    for (std::size_t l : sys.dfacts_branches())
+      if (rng.uniform() < 0.8) x[l] = rng.uniform(lo[l], hi[l]);
+    candidates.push_back(std::move(x));
+  }
+  return candidates;
+}
+
+constexpr int kSelectionSweep = 16;
+
+void BM_Case57SelectionLoopSvd(benchmark::State& state) {
+  const grid::PowerSystem sys = grid::make_case57();
+  const linalg::Matrix h0 = grid::measurement_matrix(sys);
+  const auto candidates = selection_candidates(sys, kSelectionSweep);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const linalg::Vector& x : candidates) {
+      const opf::DispatchResult d = opf::solve_dc_opf(sys, x);
+      acc += d.feasible ? d.cost : 0.0;
+      acc += mtd::spa(h0, grid::measurement_matrix(sys, x));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * kSelectionSweep);
+}
+BENCHMARK(BM_Case57SelectionLoopSvd)->Unit(benchmark::kMillisecond);
+
+void BM_Case57SelectionLoopFast(benchmark::State& state) {
+  const grid::PowerSystem sys = grid::make_case57();
+  const linalg::Matrix h0 = grid::measurement_matrix(sys);
+  const auto candidates = selection_candidates(sys, kSelectionSweep);
+  const mtd::SpaEvaluator spa_eval(sys, h0);
+  const opf::DispatchEvaluator dispatch_eval(sys);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const linalg::Vector& x : candidates) {
+      const opf::DispatchResult d = dispatch_eval.evaluate(x);
+      acc += d.feasible ? d.cost : 0.0;
+      acc += spa_eval.gamma(x);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * kSelectionSweep);
+}
+BENCHMARK(BM_Case57SelectionLoopFast)->Unit(benchmark::kMillisecond);
+
+void BM_SpaIncremental(benchmark::State& state) {
+  const grid::PowerSystem sys = system_for(static_cast<int>(state.range(0)));
+  const linalg::Matrix h0 = grid::measurement_matrix(sys);
+  const mtd::SpaEvaluator eval(sys, h0);
+  linalg::Vector x = sys.reactances();
+  for (std::size_t l : sys.dfacts_branches()) x[l] *= 1.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.gamma(x));
+  }
+  state.SetLabel(system_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_SpaIncremental)->DenseRange(0, 4);
+
+void BM_LargestPrincipalAngleQr(benchmark::State& state) {
+  const grid::PowerSystem sys = system_for(static_cast<int>(state.range(0)));
+  const linalg::Matrix h0 = grid::measurement_matrix(sys);
+  linalg::Vector x = sys.reactances();
+  for (std::size_t l : sys.dfacts_branches()) x[l] *= 1.3;
+  const linalg::Matrix h1 = grid::measurement_matrix(sys, x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::largest_principal_angle_qr(h0, h1));
+  }
+  state.SetLabel(system_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_LargestPrincipalAngleQr)->DenseRange(0, 4);
+
+void BM_IncrementalHUpdate(benchmark::State& state) {
+  const grid::PowerSystem sys = grid::make_case57();
+  const linalg::Vector x0 = sys.reactances();
+  linalg::Vector x1 = x0;
+  for (std::size_t l : sys.dfacts_branches()) x1[l] *= 1.3;
+  const auto changed = grid::changed_branches(x0, x1);
+  linalg::Matrix h = grid::measurement_matrix(sys, x0);
+  bool forward = true;
+  for (auto _ : state) {
+    if (forward) {
+      grid::update_measurement_matrix(sys, h, x0, x1, changed);
+    } else {
+      grid::update_measurement_matrix(sys, h, x1, x0, changed);
+    }
+    forward = !forward;
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_IncrementalHUpdate);
+
+void BM_DispatchEvaluatorCase57(benchmark::State& state) {
+  const grid::PowerSystem sys = grid::make_case57();
+  const opf::DispatchEvaluator evaluator(sys);
+  linalg::Vector x = sys.reactances();
+  for (std::size_t l : sys.dfacts_branches()) x[l] *= 1.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate(x));
+  }
+}
+BENCHMARK(BM_DispatchEvaluatorCase57)->Unit(benchmark::kMicrosecond);
 
 void BM_JacobiSvd(benchmark::State& state) {
   stats::Rng rng(4);

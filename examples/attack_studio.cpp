@@ -24,7 +24,19 @@
 
 int main(int argc, char** argv) {
   using namespace mtdgrid;
-  const double eta = argc > 1 ? std::atof(argv[1]) : 0.2;
+  double eta = 0.2;
+  if (argc > 2) {
+    std::fprintf(stderr, "usage: %s [eta]  (0 < eta <= 1)\n", argv[0]);
+    return 2;
+  }
+  if (argc == 2) {
+    char* end = nullptr;
+    eta = std::strtod(argv[1], &end);
+    if (end == argv[1] || *end != '\0' || !(eta > 0.0) || eta > 1.0) {
+      std::fprintf(stderr, "usage: %s [eta]  (0 < eta <= 1)\n", argv[0]);
+      return 2;
+    }
+  }
 
   const grid::PowerSystem sys = grid::make_case4();
   const linalg::Matrix h0 = grid::measurement_matrix(sys);

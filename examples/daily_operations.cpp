@@ -22,10 +22,24 @@ int main(int argc, char** argv) {
   using namespace mtdgrid;
   stats::Rng rng(7);
 
+  const auto usage = [&] {
+    std::fprintf(stderr,
+                 "usage: %s [trough_mw peak_mw]  "
+                 "(0 < trough_mw <= peak_mw)\n",
+                 argv[0]);
+    return 2;
+  };
+  if (argc != 1 && argc != 3) return usage();
+
   grid::DailyLoadTrace trace = grid::DailyLoadTrace::nyiso_winter_weekday();
   if (argc == 3) {
-    const double trough = std::atof(argv[1]);
-    const double peak = std::atof(argv[2]);
+    char* end1 = nullptr;
+    char* end2 = nullptr;
+    const double trough = std::strtod(argv[1], &end1);
+    const double peak = std::strtod(argv[2], &end2);
+    if (end1 == argv[1] || *end1 != '\0' || end2 == argv[2] ||
+        *end2 != '\0' || !(trough > 0.0) || peak < trough)
+      return usage();
     trace = grid::DailyLoadTrace::synthetic(trough, peak, /*peak_hour=*/18,
                                             /*jitter=*/0.02, rng);
     std::printf("Using synthetic trace: trough %.0f MW, peak %.0f MW\n",

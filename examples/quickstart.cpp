@@ -23,8 +23,12 @@
 #include "opf/reactance_opf.hpp"
 #include "stats/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mtdgrid;
+  if (argc > 1) {
+    std::fprintf(stderr, "usage: %s  (takes no arguments)\n", argv[0]);
+    return 2;
+  }
   stats::Rng rng(42);
 
   // --- 1. The grid and its optimal operating point -----------------------

@@ -11,8 +11,12 @@
 #include "mtd/spa.hpp"
 #include "opf/dc_opf.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mtdgrid;
+  if (argc > 1) {
+    std::fprintf(stderr, "usage: %s  (takes no arguments)\n", argv[0]);
+    return 2;
+  }
 
   std::printf("%-8s %5s %5s %5s %5s %7s %9s %11s %10s\n", "case", "buses",
               "lines", "gens", "M", "dfacts", "load(MW)", "cost($/h)",

@@ -12,8 +12,12 @@ QrDecomposition::QrDecomposition(const Matrix& a) {
   const std::size_t n = a.cols();
 
   // Householder reduction: w stores the reflectors, r becomes triangular.
-  Matrix w(m, n);  // column j holds the j-th Householder vector
+  // Reflector applications sweep whole rows (the storage is row-major), so
+  // the inner loops run over contiguous memory.
+  Matrix w(m, n);  // column j holds the j-th (unit) Householder vector
   Matrix r = a;
+  Vector v(m);
+  std::vector<double> dots(n);
   for (std::size_t k = 0; k < n; ++k) {
     double norm = 0.0;
     for (std::size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
@@ -21,33 +25,47 @@ QrDecomposition::QrDecomposition(const Matrix& a) {
     if (norm == 0.0) continue;  // column already zero below the diagonal
 
     const double alpha = (r(k, k) >= 0.0) ? -norm : norm;
-    Vector v(m);
     v[k] = r(k, k) - alpha;
     for (std::size_t i = k + 1; i < m; ++i) v[i] = r(i, k);
     double vnorm2 = 0.0;
     for (std::size_t i = k; i < m; ++i) vnorm2 += v[i] * v[i];
     if (vnorm2 == 0.0) continue;
 
-    // Apply the reflector to the remaining columns of R.
-    for (std::size_t j = k; j < n; ++j) {
-      double dot = 0.0;
-      for (std::size_t i = k; i < m; ++i) dot += v[i] * r(i, j);
-      const double scale = 2.0 * dot / vnorm2;
-      for (std::size_t i = k; i < m; ++i) r(i, j) -= scale * v[i];
+    // Apply the reflector to the remaining columns of R: first gather the
+    // dot products v^T R row by row, then update row by row.
+    for (std::size_t j = k; j < n; ++j) dots[j] = 0.0;
+    for (std::size_t i = k; i < m; ++i) {
+      const double vi = v[i];
+      if (vi == 0.0) continue;
+      for (std::size_t j = k; j < n; ++j) dots[j] += vi * r(i, j);
+    }
+    const double beta = 2.0 / vnorm2;
+    for (std::size_t j = k; j < n; ++j) dots[j] *= beta;
+    for (std::size_t i = k; i < m; ++i) {
+      const double vi = v[i];
+      if (vi == 0.0) continue;
+      for (std::size_t j = k; j < n; ++j) r(i, j) -= dots[j] * vi;
     }
     const double vnorm = std::sqrt(vnorm2);
     for (std::size_t i = k; i < m; ++i) w(i, k) = v[i] / vnorm;
   }
 
-  // Accumulate the thin Q by applying the reflectors to I's first n columns.
+  // Accumulate the thin Q by applying the reflectors to I's first n columns,
+  // with the same row-sweeping loop structure.
   q_ = Matrix(m, n);
   for (std::size_t j = 0; j < n; ++j) q_(j, j) = 1.0;
   for (std::size_t kk = n; kk-- > 0;) {
-    for (std::size_t j = 0; j < n; ++j) {
-      double dot = 0.0;
-      for (std::size_t i = kk; i < m; ++i) dot += w(i, kk) * q_(i, j);
-      const double scale = 2.0 * dot;
-      for (std::size_t i = kk; i < m; ++i) q_(i, j) -= scale * w(i, kk);
+    for (std::size_t j = 0; j < n; ++j) dots[j] = 0.0;
+    for (std::size_t i = kk; i < m; ++i) {
+      const double wi = w(i, kk);
+      if (wi == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) dots[j] += wi * q_(i, j);
+    }
+    for (std::size_t j = 0; j < n; ++j) dots[j] *= 2.0;
+    for (std::size_t i = kk; i < m; ++i) {
+      const double wi = w(i, kk);
+      if (wi == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) q_(i, j) -= dots[j] * wi;
     }
   }
 
@@ -78,6 +96,17 @@ Vector QrDecomposition::solve_least_squares(const Vector& b) const {
     x[ii] = acc / r_(ii, ii);
   }
   return x;
+}
+
+Matrix orthonormal_basis_qr(const Matrix& a, double tol) {
+  if (a.cols() == 0) return Matrix(a.rows(), 0);
+  // Wide matrices are necessarily rank deficient in their columns, and
+  // QrDecomposition requires rows >= cols: route them (and any
+  // rank-deficient tall input) through the rank-revealing basis.
+  if (a.rows() < a.cols()) return orthonormal_column_basis(a, tol);
+  const QrDecomposition qr(a);
+  if (qr.rank(tol) == a.cols()) return qr.q_thin();
+  return orthonormal_column_basis(a, tol);
 }
 
 Matrix orthonormal_column_basis(const Matrix& a, double tol) {

@@ -39,6 +39,14 @@ class QrDecomposition {
 /// modified Gram-Schmidt with re-orthogonalization for stability.
 Matrix orthonormal_column_basis(const Matrix& a, double tol = 1e-10);
 
+/// Orthonormal column-space basis via Householder thin QR — the fast path
+/// for the full-column-rank matrices of the measurement model (a single
+/// Householder sweep instead of doubly re-orthogonalized Gram-Schmidt).
+/// Wide or numerically rank-deficient inputs fall back to
+/// `orthonormal_column_basis`, so the result is always a basis of Col(a)
+/// with exactly rank(a) columns, for any shape.
+Matrix orthonormal_basis_qr(const Matrix& a, double tol = 1e-10);
+
 /// Numerical rank of an arbitrary matrix (via the basis construction above).
 std::size_t rank(const Matrix& a, double tol = 1e-10);
 

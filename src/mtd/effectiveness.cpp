@@ -10,23 +10,16 @@
 
 namespace mtdgrid::mtd {
 
-EffectivenessResult evaluate_effectiveness(const linalg::Matrix& h_attacker,
-                                           const linalg::Matrix& h_actual,
-                                           const linalg::Vector& z_ref,
-                                           const EffectivenessOptions& options,
-                                           stats::Rng& rng) {
-  if (h_attacker.rows() != h_actual.rows())
-    throw std::invalid_argument(
-        "effectiveness: measurement dimensions must match");
-  if (options.num_attacks <= 0)
-    throw std::invalid_argument("effectiveness: need at least one attack");
+namespace {
 
+/// Scores one candidate matrix against an already drawn attack sample.
+EffectivenessResult score_candidate(const std::vector<attack::FdiAttack>& attacks,
+                                    const linalg::Matrix& h_actual,
+                                    const linalg::Vector& z_ref,
+                                    const EffectivenessOptions& options,
+                                    stats::Rng& rng) {
   const estimation::StateEstimator estimator(h_actual, options.sigma_mw);
   const estimation::BadDataDetector bdd(estimator, options.fp_rate);
-
-  const auto attacks = attack::sample_attacks(
-      h_attacker, z_ref, options.attack_relative_magnitude,
-      options.num_attacks, rng);
 
   EffectivenessResult result;
   result.detection_probabilities.reserve(attacks.size());
@@ -52,6 +45,51 @@ EffectivenessResult evaluate_effectiveness(const linalg::Matrix& h_attacker,
   for (double delta : options.deltas)
     result.eta.push_back(eta_at(result.detection_probabilities, delta));
   return result;
+}
+
+void validate_options(const EffectivenessOptions& options) {
+  if (options.num_attacks <= 0)
+    throw std::invalid_argument("effectiveness: need at least one attack");
+}
+
+}  // namespace
+
+EffectivenessResult evaluate_effectiveness(const linalg::Matrix& h_attacker,
+                                           const linalg::Matrix& h_actual,
+                                           const linalg::Vector& z_ref,
+                                           const EffectivenessOptions& options,
+                                           stats::Rng& rng) {
+  if (h_attacker.rows() != h_actual.rows())
+    throw std::invalid_argument(
+        "effectiveness: measurement dimensions must match");
+  validate_options(options);
+
+  const auto attacks = attack::sample_attacks(
+      h_attacker, z_ref, options.attack_relative_magnitude,
+      options.num_attacks, rng);
+  return score_candidate(attacks, h_actual, z_ref, options, rng);
+}
+
+std::vector<EffectivenessResult> evaluate_candidates(
+    const linalg::Matrix& h_attacker,
+    const std::vector<linalg::Matrix>& h_candidates,
+    const linalg::Vector& z_ref, const EffectivenessOptions& options,
+    stats::Rng& rng) {
+  for (const linalg::Matrix& h : h_candidates)
+    if (h.rows() != h_attacker.rows())
+      throw std::invalid_argument(
+          "effectiveness: measurement dimensions must match");
+  validate_options(options);
+
+  const auto attacks = attack::sample_attacks(
+      h_attacker, z_ref, options.attack_relative_magnitude,
+      options.num_attacks, rng);
+
+  std::vector<EffectivenessResult> results;
+  results.reserve(h_candidates.size());
+  for (const linalg::Matrix& h : h_candidates)
+    results.push_back(score_candidate(attacks, h, z_ref, options, rng));
+  return results;
 }
 
 double eta_at(const std::vector<double>& detection_probabilities,

@@ -53,6 +53,23 @@ EffectivenessResult evaluate_effectiveness(const linalg::Matrix& h_attacker,
                                            const EffectivenessOptions& options,
                                            stats::Rng& rng);
 
+/// Batched effectiveness evaluation: one attacker matrix against a whole
+/// set of candidate post-MTD matrices (keyspace audits, gamma sweeps,
+/// selection shortlists). The attack sample — and with it the attacker-side
+/// factorization inside `sample_attacks` — is drawn ONCE and shared by
+/// every candidate, so the per-candidate work drops to the estimator build
+/// plus the detection probabilities, and every candidate is scored against
+/// the *same* attacks (paired comparison, no cross-candidate sampling
+/// noise). With the analytic detection method, entry i equals
+/// `evaluate_effectiveness(h_attacker, h_candidates[i], z_ref, options,
+/// rng)` called with a fresh rng seeded like `rng`. Results are
+/// index-aligned with `h_candidates`.
+std::vector<EffectivenessResult> evaluate_candidates(
+    const linalg::Matrix& h_attacker,
+    const std::vector<linalg::Matrix>& h_candidates,
+    const linalg::Vector& z_ref, const EffectivenessOptions& options,
+    stats::Rng& rng);
+
 /// eta'(delta) for a single delta from an already computed probability set.
 double eta_at(const std::vector<double>& detection_probabilities,
               double delta);

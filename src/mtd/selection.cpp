@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "grid/measurement.hpp"
@@ -36,21 +37,34 @@ MtdSelectionResult select_mtd_perturbation(const grid::PowerSystem& sys,
   const double penalty = options.penalty_scale * base_opf_cost;
   constexpr double kInfeasiblePenalty = 1e15;
 
+  // Amortized hot-path evaluators: the attacker basis is factorized once
+  // and each candidate costs a rank-k update + one power flow instead of
+  // two SVD-scale factorizations and a simplex solve.
+  std::optional<SpaEvaluator> spa_eval;
+  std::optional<opf::DispatchEvaluator> dispatch_eval;
+  if (options.use_fast_path) {
+    spa_eval.emplace(sys, h_attacker);
+    dispatch_eval.emplace(sys);
+  }
+
   // Penalized objective: dispatch cost + quadratic penalty on the unmet
   // part of the SPA constraint (exact for a large enough multiplier).
   const auto objective = [&](const linalg::Vector& dfacts_x) {
     const linalg::Vector x = opf::expand_dfacts_reactances(sys, dfacts_x);
-    const opf::DispatchResult d = opf::solve_dc_opf(sys, x);
+    const opf::DispatchResult d =
+        dispatch_eval ? dispatch_eval->evaluate(x) : opf::solve_dc_opf(sys, x);
     if (!d.feasible) return kInfeasiblePenalty;
-    const linalg::Matrix h = grid::measurement_matrix(sys, x);
-    const double gamma = spa(h_attacker, h);
+    const double gamma =
+        spa_eval ? spa_eval->gamma(x)
+                 : spa(h_attacker, grid::measurement_matrix(sys, x));
     const double deficit =
         options.pin_gamma ? std::abs(options.gamma_threshold - gamma)
                           : std::max(0.0, options.gamma_threshold - gamma);
     return d.cost + penalty * deficit * (1.0 + deficit);
   };
 
-  // Multi-start portfolio: the nominal point, random interior points, and
+  // Multi-start portfolio: the nominal point, the incumbent warm start
+  // when provided, random interior points, and
   // the best corners of the D-FACTS box. Corners produce the largest
   // column-space rotations, so they are essential starts when gamma_th is
   // near the achievable ceiling (interior starts alone often stall on the
@@ -58,6 +72,13 @@ MtdSelectionResult select_mtd_perturbation(const grid::PowerSystem& sys,
   // small enough to probe exhaustively; otherwise sample it.
   std::vector<linalg::Vector> starts;
   starts.push_back(x0);
+  if (options.warm_start.size() == dfacts.size() &&
+      options.warm_start.size() > 0) {
+    linalg::Vector warm = options.warm_start;
+    for (std::size_t i = 0; i < warm.size(); ++i)
+      warm[i] = std::clamp(warm[i], lo[i], hi[i]);
+    starts.push_back(std::move(warm));
+  }
   const int num_random = std::max(0, options.extra_starts / 2);
   const int num_corners = options.extra_starts - num_random;
   for (int s = 0; s < num_random; ++s) {

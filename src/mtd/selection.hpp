@@ -24,6 +24,17 @@ struct MtdSelectionOptions {
   /// sweeps, where each point must sit *at* a given gamma; the flat-cost
   /// plateau would otherwise let the optimizer drift to a larger angle.
   bool pin_gamma = false;
+  /// Evaluate candidates through the amortized hot path: incremental
+  /// rank-k SPA updates (`SpaEvaluator`) and the merit-order dispatch
+  /// certificate (`DispatchEvaluator`) instead of a fresh SVD pair and
+  /// simplex solve per candidate (>=5x at 57-bus scale). The objective
+  /// agrees with the reference path to ~1e-12, so this is a speed knob,
+  /// not a quality knob; set false to A/B against the reference path.
+  bool use_fast_path = true;
+  /// Optional incumbent D-FACTS reactances (one entry per D-FACTS branch,
+  /// `dfacts_branches()` order) added to the start portfolio — e.g. the
+  /// previous hour's perturbation in the daily loop. Empty = none.
+  linalg::Vector warm_start;
 };
 
 /// Result of the MTD perturbation selection.

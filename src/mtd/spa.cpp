@@ -1,8 +1,14 @@
 #include "mtd/spa.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <numbers>
+#include <stdexcept>
 
+#include "grid/measurement.hpp"
+#include "linalg/qr.hpp"
 #include "linalg/subspace.hpp"
+#include "linalg/svd.hpp"
 
 namespace mtdgrid::mtd {
 
@@ -18,6 +24,168 @@ double smallest_angle(const linalg::Matrix& h_old,
 bool column_spaces_orthogonal(const linalg::Matrix& h_old,
                               const linalg::Matrix& h_new, double tol) {
   return smallest_angle(h_old, h_new) >= std::numbers::pi / 2.0 - tol;
+}
+
+SpaEvaluator::SpaEvaluator(const grid::PowerSystem& sys,
+                           const linalg::Matrix& h_attacker)
+    : sys_(sys), h0_(h_attacker) {
+  const std::size_t num_branches = sys_.num_branches();
+  const std::size_t num_buses = sys_.num_buses();
+  const std::size_t state_dim = num_buses - 1;
+  if (h0_.rows() != grid::measurement_count(sys_) ||
+      h0_.cols() != state_dim)
+    throw std::invalid_argument(
+        "SpaEvaluator: h_attacker does not have the system's measurement "
+        "dimensions");
+
+  // Try to recognize h_attacker as H(sys, x_ref) for some reactances: each
+  // forward-flow row is d_l * (e_from - e_to)^T, so any non-slack endpoint
+  // entry reveals d_l.
+  bool recovered = true;
+  x_ref_ = linalg::Vector(num_branches);
+  d_ref_ = linalg::Vector(num_branches);
+  for (std::size_t l = 0; l < num_branches && recovered; ++l) {
+    const grid::Branch& br = sys_.branch(l);
+    const std::size_t cf = grid::reduced_state_column(sys_, br.from);
+    const std::size_t ct = grid::reduced_state_column(sys_, br.to);
+    double d = 0.0;
+    if (cf < num_buses) {
+      d = h0_(l, cf);
+    } else if (ct < num_buses) {
+      d = -h0_(l, ct);
+    }
+    if (d > 0.0) {
+      d_ref_[l] = d;
+      x_ref_[l] = sys_.base_mva() / d;
+    } else {
+      recovered = false;
+    }
+  }
+  if (recovered) {
+    const linalg::Matrix rebuilt = grid::measurement_matrix(sys_, x_ref_);
+    const double scale = std::max(1.0, h0_.max_abs());
+    recovered = linalg::max_abs_diff(rebuilt, h0_) <= 1e-8 * scale;
+  }
+
+  if (recovered) {
+    const linalg::QrDecomposition qr(h0_);
+    if (qr.rank() == state_dim) {
+      q0_ = qr.q_thin();
+      r0_ = qr.r();
+      incremental_ = true;
+      return;
+    }
+  }
+  q0_ = linalg::orthonormal_basis_qr(h0_);
+}
+
+double SpaEvaluator::gamma(const linalg::Vector& x) const {
+  if (x.size() != sys_.num_branches())
+    throw std::invalid_argument("SpaEvaluator: reactance vector length");
+  if (!incremental_) return gamma_full(grid::measurement_matrix(sys_, x));
+
+  // Relative tolerance: the x_ref recovered from h_attacker carries ~1e-16
+  // reconstruction rounding, so candidates numerically equal to the
+  // reference must diff to the empty set (gamma identically 0), and
+  // sub-1e-12 reactance jitter contributes < 1e-11 rad anyway.
+  const std::vector<std::size_t> changed =
+      grid::changed_branches(x_ref_, x, 1e-12);
+  if (changed.empty()) return 0.0;
+  for (std::size_t l : changed)
+    if (!(x[l] > 0.0))
+      throw std::invalid_argument("SpaEvaluator: reactances must be > 0");
+
+  const std::size_t n = h0_.cols();
+  const std::size_t num_branches = sys_.num_branches();
+  const std::size_t num_buses = sys_.num_buses();
+  const std::size_t k = changed.size();
+
+  // H(x) = H0 + U W^T: column j of U is the (sparse) structure vector of
+  // changed branch l_j — +1 at flow row l, -1 at the reverse row L+l, and
+  // the incidence pattern at the injection rows; column j of W is
+  // delta_j * a_l (the branch's reduced-incidence row).
+  // P = Q0^T U via the 4 nonzero rows of each structure vector.
+  linalg::Matrix p(n, k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::size_t l = changed[j];
+    const grid::Branch& br = sys_.branch(l);
+    const std::size_t row_f = 2 * num_branches + br.from;
+    const std::size_t row_t = 2 * num_branches + br.to;
+    for (std::size_t c = 0; c < n; ++c)
+      p(c, j) = q0_(l, c) - q0_(num_branches + l, c) + q0_(row_f, c) -
+                q0_(row_t, c);
+  }
+
+  // U_perp = U - Q0 P, with one re-orthogonalization pass for stability.
+  linalg::Matrix u_perp = q0_ * p;
+  u_perp *= -1.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::size_t l = changed[j];
+    const grid::Branch& br = sys_.branch(l);
+    u_perp(l, j) += 1.0;
+    u_perp(num_branches + l, j) -= 1.0;
+    u_perp(2 * num_branches + br.from, j) += 1.0;
+    u_perp(2 * num_branches + br.to, j) -= 1.0;
+  }
+  const linalg::Matrix p2 = q0_.transpose_times(u_perp);
+  u_perp -= q0_ * p2;
+  p += p2;
+
+  // Orthonormal complement directions introduced by the update (at most k;
+  // fewer when some structure vectors already lie in span[Q0, others]).
+  const linalg::Matrix qu = linalg::orthonormal_column_basis(u_perp);
+  const std::size_t kp = qu.cols();
+  if (kp == 0) return 0.0;  // Col(H(x)) == Col(H0)
+  const linalg::Matrix ru = qu.transpose_times(u_perp);
+
+  // K = [R0 + P W^T; R_u W^T] — H(x) = [Q0 Q_u] K, so the principal angles
+  // between Col(H0) and Col(H(x)) are read off the QR of K alone.
+  linalg::Matrix kmat(n + kp, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) kmat(i, j) = r0_(i, j);
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::size_t l = changed[j];
+    const grid::Branch& br = sys_.branch(l);
+    const double delta = sys_.base_mva() / x[l] - d_ref_[l];
+    const std::size_t cf = grid::reduced_state_column(sys_, br.from);
+    const std::size_t ct = grid::reduced_state_column(sys_, br.to);
+    // w_j = delta * a_l with a_l = +1 at from, -1 at to (slack dropped).
+    if (cf < num_buses) {
+      for (std::size_t i = 0; i < n; ++i) kmat(i, cf) += delta * p(i, j);
+      for (std::size_t i = 0; i < kp; ++i)
+        kmat(n + i, cf) += delta * ru(i, j);
+    }
+    if (ct < num_buses) {
+      for (std::size_t i = 0; i < n; ++i) kmat(i, ct) -= delta * p(i, j);
+      for (std::size_t i = 0; i < kp; ++i)
+        kmat(n + i, ct) -= delta * ru(i, j);
+    }
+  }
+
+  const linalg::QrDecomposition qk(kmat);
+  const linalg::Matrix& q_small = qk.q_thin();  // (n + kp) x n
+
+  // Q(x) = [Q0 Q_u] Q_small, so (I - Q0 Q0^T) Q(x) = Q_u B with B the
+  // bottom block: the nonzero principal-angle sines are sigma(B).
+  const linalg::Matrix bottom = q_small.block(n, 0, kp, n);
+  const double s =
+      std::clamp(linalg::largest_singular_value(bottom), 0.0, 1.0);
+  if (s * s <= 0.5) return std::asin(s);
+  // Angle above pi/4: the cosine route conditions better. C = Q0^T Q(x) is
+  // the top block of Q_small.
+  const linalg::Matrix top = q_small.block(0, 0, n, n);
+  return std::acos(
+      std::clamp(linalg::smallest_singular_value(top), 0.0, 1.0));
+}
+
+double SpaEvaluator::gamma_full(const linalg::Matrix& h_new) const {
+  if (h_new.rows() != h0_.rows())
+    throw std::invalid_argument(
+        "SpaEvaluator: candidate matrix row dimension");
+  const linalg::Matrix qb = linalg::orthonormal_basis_qr(h_new);
+  const linalg::Matrix core = q0_.transpose_times(qb);
+  const double c = std::clamp(linalg::smallest_singular_value(core), 0.0, 1.0);
+  return std::acos(c);
 }
 
 }  // namespace mtdgrid::mtd

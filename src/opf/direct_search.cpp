@@ -121,15 +121,35 @@ DirectSearchResult multi_start_minimize(
     const linalg::Vector& lo, const linalg::Vector& hi,
     const linalg::Vector& x0, int extra_starts, stats::Rng& rng,
     const DirectSearchOptions& options) {
-  DirectSearchResult best = nelder_mead_box(objective, lo, hi, x0, options);
-  int total_evals = best.evaluations;
-  for (int s = 0; s < extra_starts; ++s) {
+  return multi_start_minimize(objective, lo, hi,
+                              std::vector<linalg::Vector>{x0}, extra_starts,
+                              rng, options);
+}
+
+DirectSearchResult multi_start_minimize(
+    const std::function<double(const linalg::Vector&)>& objective,
+    const linalg::Vector& lo, const linalg::Vector& hi,
+    const std::vector<linalg::Vector>& starts, int extra_starts,
+    stats::Rng& rng, const DirectSearchOptions& options) {
+  DirectSearchResult best;
+  bool first = true;
+  int total_evals = 0;
+  const auto run_from = [&](const linalg::Vector& start) {
+    DirectSearchResult r = nelder_mead_box(objective, lo, hi, start, options);
+    total_evals += r.evaluations;
+    if (first || r.value < best.value) {
+      best = std::move(r);
+      first = false;
+    }
+  };
+  for (const linalg::Vector& start : starts) run_from(start);
+  const int random_starts =
+      starts.empty() ? std::max(1, extra_starts) : extra_starts;
+  for (int s = 0; s < random_starts; ++s) {
     linalg::Vector start(lo.size());
     for (std::size_t i = 0; i < lo.size(); ++i)
       start[i] = rng.uniform(lo[i], hi[i]);
-    DirectSearchResult r = nelder_mead_box(objective, lo, hi, start, options);
-    total_evals += r.evaluations;
-    if (r.value < best.value) best = std::move(r);
+    run_from(start);
   }
   best.evaluations = total_evals;
   return best;

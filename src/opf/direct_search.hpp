@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "linalg/vector.hpp"
 #include "stats/rng.hpp"
@@ -38,5 +39,15 @@ DirectSearchResult multi_start_minimize(
     const linalg::Vector& lo, const linalg::Vector& hi,
     const linalg::Vector& x0, int extra_starts, stats::Rng& rng,
     const DirectSearchOptions& options = {});
+
+/// Multi-start with an explicit start portfolio (e.g. the incumbent
+/// solution of the previous solve plus the nominal point) in addition to
+/// `extra_starts` random interior points. Every start is clamped into the
+/// box; an empty portfolio behaves like a single random start.
+DirectSearchResult multi_start_minimize(
+    const std::function<double(const linalg::Vector&)>& objective,
+    const linalg::Vector& lo, const linalg::Vector& hi,
+    const std::vector<linalg::Vector>& starts, int extra_starts,
+    stats::Rng& rng, const DirectSearchOptions& options = {});
 
 }  // namespace mtdgrid::opf

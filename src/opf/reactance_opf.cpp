@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <limits>
+#include <vector>
 
 namespace mtdgrid::opf {
 
@@ -38,14 +39,21 @@ ReactanceOpfResult solve_reactance_opf(const grid::PowerSystem& sys,
   }
 
   constexpr double kInfeasiblePenalty = 1e12;
+  const DispatchEvaluator evaluator(sys);
   const auto objective = [&](const linalg::Vector& dfacts_x) {
     const linalg::Vector x = expand_dfacts_reactances(sys, dfacts_x);
-    const DispatchResult d = solve_dc_opf(sys, x);
+    const DispatchResult d =
+        options.use_fast_path ? evaluator.evaluate(x) : solve_dc_opf(sys, x);
     return d.feasible ? d.cost : kInfeasiblePenalty;
   };
 
+  std::vector<linalg::Vector> starts{x0};
+  if (options.warm_start.size() == dfacts.size() &&
+      options.warm_start.size() > 0)
+    starts.push_back(options.warm_start);
+
   const DirectSearchResult best = multi_start_minimize(
-      objective, lo, hi, x0, options.extra_starts, rng, options.search);
+      objective, lo, hi, starts, options.extra_starts, rng, options.search);
 
   result.reactances = expand_dfacts_reactances(sys, best.x);
   result.dispatch = solve_dc_opf(sys, result.reactances);

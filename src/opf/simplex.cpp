@@ -1,5 +1,6 @@
 #include "opf/simplex.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
@@ -12,6 +13,13 @@ namespace {
 constexpr double kPivotTol = 1e-9;
 constexpr double kFeasibilityTol = 1e-7;
 constexpr std::size_t kMaxIterations = 50000;
+// Dual-feasibility tolerance for the unbounded verdict. A recession
+// direction only proves unboundedness when its reduced cost is decisively
+// negative; after hundreds of Gauss-Jordan pivots, reduced costs that are
+// exactly zero in exact arithmetic (e.g. the mirror half of a split free
+// variable) drift to ~-1e-9 and used to trigger bogus kUnbounded — which
+// solve_dc_opf then surfaced as a bogus "infeasible" dispatch.
+constexpr double kNoiseCostTol = 1e-6;
 
 /// How an original variable maps onto the non-negative standard-form ones.
 struct VariableMap {
@@ -99,7 +107,16 @@ LpStatus iterate(Tableau& tab, std::vector<std::size_t>& basis,
         best_ratio = ratio;
       }
     }
-    if (leaving == tab.rows()) return LpStatus::kUnbounded;
+    if (leaving == tab.rows()) {
+      // No ratio-test row: a ray. Only a decisively negative reduced cost
+      // makes it an unbounded certificate; a roundoff-level one cannot
+      // improve the objective — drop the column and keep iterating.
+      if (tab.cost(entering) >= -kNoiseCostTol) {
+        tab.cost(entering) = 0.0;
+        continue;
+      }
+      return LpStatus::kUnbounded;
+    }
 
     tab.pivot(leaving, entering);
     basis[leaving] = entering;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "grid/cases.hpp"
 #include "grid/power_flow.hpp"
 #include "linalg/qr.hpp"
@@ -100,6 +102,86 @@ TEST(MeasurementTest, ScalingAllReactancesScalesH) {
   const linalg::Matrix h = measurement_matrix(sys, x);
   const linalg::Matrix h_scaled = measurement_matrix(sys, x_scaled);
   EXPECT_NEAR(linalg::max_abs_diff(h_scaled, h * (1.0 + eta)), 0.0, 1e-9);
+}
+
+// --- incremental row updates vs full rebuild ----------------------------
+
+class IncrementalUpdateProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalUpdateProperty, RowUpdateEqualsRebuildOnCase14) {
+  const PowerSystem sys = make_case14();
+  stats::Rng rng(600 + GetParam());
+  const linalg::Vector x0 = sys.reactances();
+  const linalg::Vector lo = sys.reactance_lower_limits();
+  const linalg::Vector hi = sys.reactance_upper_limits();
+
+  linalg::Vector x1 = x0;
+  for (std::size_t l : sys.dfacts_branches())
+    if (rng.uniform() < 0.6) x1[l] = rng.uniform(lo[l], hi[l]);
+
+  linalg::Matrix h = measurement_matrix(sys, x0);
+  const auto changed = changed_branches(x0, x1);
+  update_measurement_matrix(sys, h, x0, x1, changed);
+  const linalg::Matrix rebuilt = measurement_matrix(sys, x1);
+  EXPECT_LT(linalg::max_abs_diff(h, rebuilt),
+            1e-12 * std::max(1.0, rebuilt.max_abs()));
+}
+
+TEST_P(IncrementalUpdateProperty, RowUpdateEqualsRebuildOnCase57) {
+  const PowerSystem sys = make_case57();
+  stats::Rng rng(650 + GetParam());
+  const linalg::Vector x0 = sys.reactances();
+  const linalg::Vector lo = sys.reactance_lower_limits();
+  const linalg::Vector hi = sys.reactance_upper_limits();
+
+  linalg::Vector x1 = x0;
+  for (std::size_t l : sys.dfacts_branches())
+    x1[l] = rng.uniform(lo[l], hi[l]);
+
+  linalg::Matrix h = measurement_matrix(sys, x0);
+  const auto changed = changed_branches(x0, x1);
+  update_measurement_matrix(sys, h, x0, x1, changed);
+  const linalg::Matrix rebuilt = measurement_matrix(sys, x1);
+  EXPECT_LT(linalg::max_abs_diff(h, rebuilt),
+            1e-12 * std::max(1.0, rebuilt.max_abs()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalUpdateProperty,
+                         ::testing::Range(0, 8));
+
+TEST(MeasurementIncrementalTest, ChangedBranchesFindsExactlyTheDiff) {
+  const PowerSystem sys = make_case14();
+  linalg::Vector x0 = sys.reactances();
+  linalg::Vector x1 = x0;
+  x1[2] *= 1.1;
+  x1[7] *= 0.9;
+  const auto changed = changed_branches(x0, x1);
+  ASSERT_EQ(changed.size(), 2u);
+  EXPECT_EQ(changed[0], 2u);
+  EXPECT_EQ(changed[1], 7u);
+  EXPECT_TRUE(changed_branches(x0, x0).empty());
+}
+
+TEST(MeasurementIncrementalTest, ChainOfUpdatesStaysExact) {
+  // Apply several successive perturbations to the same cached matrix; the
+  // update must not accumulate error relative to a fresh rebuild.
+  const PowerSystem sys = make_case57();
+  stats::Rng rng(77);
+  const linalg::Vector lo = sys.reactance_lower_limits();
+  const linalg::Vector hi = sys.reactance_upper_limits();
+  linalg::Vector x = sys.reactances();
+  linalg::Matrix h = measurement_matrix(sys, x);
+  for (int step = 0; step < 20; ++step) {
+    linalg::Vector x_next = x;
+    for (std::size_t l : sys.dfacts_branches())
+      if (rng.uniform() < 0.5) x_next[l] = rng.uniform(lo[l], hi[l]);
+    update_measurement_matrix(sys, h, x, x_next,
+                              changed_branches(x, x_next));
+    x = x_next;
+  }
+  const linalg::Matrix rebuilt = measurement_matrix(sys, x);
+  EXPECT_LT(linalg::max_abs_diff(h, rebuilt),
+            1e-10 * std::max(1.0, rebuilt.max_abs()));
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "stats/rng.hpp"
 #include "test_util.hpp"
 
@@ -127,6 +129,44 @@ TEST_P(QrRankProperty, RandomMatricesHaveFullRank) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QrRankProperty, ::testing::Range(0, 10));
+
+// --- Householder thin-QR orthonormal basis ------------------------------
+
+class QrBasisProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(QrBasisProperty, BasisIsOrthonormalAndSpansColumnSpace) {
+  stats::Rng rng(800 + GetParam());
+  const std::size_t m = 8 + 9 * GetParam();
+  const std::size_t n = 2 + GetParam() % 7;
+  const Matrix a = test::random_matrix(m, n, rng);
+  const Matrix q = orthonormal_basis_qr(a);
+  ASSERT_EQ(q.rows(), m);
+  ASSERT_EQ(q.cols(), n);
+  // Q^T Q = I.
+  const Matrix gram = q.transpose_times(q);
+  EXPECT_LT(max_abs_diff(gram, Matrix::identity(n)), 1e-12);
+  // Every column of a is reproduced by the projection Q Q^T a.
+  const Matrix projected = q * q.transpose_times(a);
+  EXPECT_LT(max_abs_diff(projected, a), 1e-10 * std::max(1.0, a.max_abs()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QrBasisProperty, ::testing::Range(0, 8));
+
+TEST(QrBasisTest, RankDeficientFallsBackToRankRevealingBasis) {
+  stats::Rng rng(42);
+  Matrix a = test::random_matrix(12, 4, rng);
+  for (std::size_t i = 0; i < a.rows(); ++i) a(i, 3) = 3.0 * a(i, 1);
+  const Matrix q = orthonormal_basis_qr(a);
+  EXPECT_EQ(q.cols(), 3u);
+  const Matrix projected = q * q.transpose_times(a);
+  EXPECT_LT(max_abs_diff(projected, a), 1e-9 * std::max(1.0, a.max_abs()));
+}
+
+TEST(QrBasisTest, EmptyMatrix) {
+  const Matrix q = orthonormal_basis_qr(Matrix(5, 0));
+  EXPECT_EQ(q.rows(), 5u);
+  EXPECT_EQ(q.cols(), 0u);
+}
 
 }  // namespace
 }  // namespace mtdgrid::linalg

@@ -118,5 +118,74 @@ TEST_P(SubspaceProperty, SharedColumnForcesZeroSmallestAngle) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SubspaceProperty, ::testing::Range(0, 10));
 
+// --- thin-QR fast path vs the Bjorck-Golub reference --------------------
+
+class QrPathProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(QrPathProperty, PrincipalAnglesQrMatchesSvdPathOnRandomTall) {
+  stats::Rng rng(900 + GetParam());
+  const std::size_t m = 12 + 7 * GetParam();
+  const std::size_t n = 3 + GetParam() % 6;
+  const Matrix a = test::random_matrix(m, n, rng);
+  const Matrix b = test::random_matrix(m, n, rng);
+  const auto reference = principal_angles(a, b);
+  const auto fast = principal_angles_qr(a, b);
+  ASSERT_EQ(reference.size(), fast.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    // Compare cosines: for angles near 0 the acos of either route has
+    // ~sqrt(eps) absolute error, but the cosines agree to ~1e-12.
+    EXPECT_NEAR(std::cos(reference[i]), std::cos(fast[i]), 1e-12);
+  }
+  // The largest angle of a generic random pair is well separated from 0,
+  // where both routes are well conditioned: demand 1e-10 in radians.
+  EXPECT_NEAR(reference.back(), fast.back(), 1e-10);
+  EXPECT_NEAR(largest_principal_angle_qr(a, b), reference.back(), 1e-10);
+}
+
+TEST_P(QrPathProperty, LargestAngleQrMatchesOnOverlappingSubspaces) {
+  // Subspaces that share directions (the D-FACTS situation: most of the
+  // column space is untouched).
+  stats::Rng rng(950 + GetParam());
+  const std::size_t m = 20;
+  const Matrix shared = test::random_matrix(m, 4, rng);
+  const Matrix a = shared.hstack(test::random_matrix(m, 2, rng));
+  const Matrix b = shared.hstack(test::random_matrix(m, 2, rng));
+  EXPECT_NEAR(largest_principal_angle_qr(a, b),
+              largest_principal_angle(a, b), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QrPathProperty, ::testing::Range(0, 10));
+
+TEST(SubspaceTest, QrPathIdenticalSubspaces) {
+  stats::Rng rng(33);
+  const Matrix a = test::random_matrix(9, 4, rng);
+  const auto angles = principal_angles_qr(a, a * -1.5);
+  ASSERT_EQ(angles.size(), 4u);
+  for (double theta : angles) EXPECT_NEAR(theta, 0.0, 1e-7);
+}
+
+TEST(SubspaceTest, QrPathOrthogonalSubspaces) {
+  Matrix a{{1.0}, {0.0}, {0.0}};
+  Matrix b{{0.0}, {1.0}, {0.0}};
+  EXPECT_NEAR(largest_principal_angle_qr(a, b), std::numbers::pi / 2,
+              1e-12);
+}
+
+TEST(SubspaceTest, QrPathHandlesRankDeficientInput) {
+  // Third column is a combination of the first two: the QR basis must fall
+  // back to the rank-revealing route and still return min-rank angles.
+  stats::Rng rng(34);
+  Matrix a = test::random_matrix(10, 3, rng);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    a(i, 2) = a(i, 0) - 2.0 * a(i, 1);
+  const Matrix b = test::random_matrix(10, 3, rng);
+  const auto reference = principal_angles(a, b);
+  const auto fast = principal_angles_qr(a, b);
+  ASSERT_EQ(reference.size(), 2u);
+  ASSERT_EQ(fast.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i)
+    EXPECT_NEAR(std::cos(reference[i]), std::cos(fast[i]), 1e-10);
+}
+
 }  // namespace
 }  // namespace mtdgrid::linalg

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "stats/rng.hpp"
 #include "test_util.hpp"
 
@@ -107,6 +109,57 @@ TEST_P(SvdProperty, TransposeHasSameSpectrum) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SvdProperty, ::testing::Range(0, 12));
+
+// --- extreme singular values via Sturm bisection ------------------------
+
+class ExtremeSigmaProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExtremeSigmaProperty, MatchesJacobiOnRandomMatrices) {
+  stats::Rng rng(700 + GetParam());
+  const std::size_t m = 2 + (GetParam() * 7) % 40;
+  const std::size_t n = 1 + (GetParam() * 5) % 17;
+  const Matrix a = test::random_matrix(m, n, rng);
+  const SvdDecomposition svd(a);
+  const double scale = std::max(1.0, svd.sigma_max());
+  EXPECT_NEAR(smallest_singular_value(a), svd.sigma_min(), 1e-11 * scale);
+  EXPECT_NEAR(largest_singular_value(a), svd.sigma_max(), 1e-11 * scale);
+}
+
+TEST_P(ExtremeSigmaProperty, MatchesJacobiOnNearSingularMatrices) {
+  // Last column nearly dependent: sigma_min is tiny but must still agree.
+  stats::Rng rng(750 + GetParam());
+  const std::size_t n = 4 + GetParam() % 5;
+  Matrix a = test::random_matrix(n + 3, n, rng);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    a(i, n - 1) = a(i, 0) + 1e-7 * a(i, 1);
+  const SvdDecomposition svd(a);
+  // The Gram route resolves sigma_min only to ~sqrt(eps) * sigma_max when
+  // the matrix is (near-)singular — the documented accuracy floor.
+  const double scale = std::max(1.0, svd.sigma_max());
+  EXPECT_NEAR(smallest_singular_value(a), svd.sigma_min(), 1e-7 * scale);
+  EXPECT_NEAR(largest_singular_value(a), svd.sigma_max(), 1e-11 * scale);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtremeSigmaProperty,
+                         ::testing::Range(0, 12));
+
+TEST(ExtremeSigmaTest, DegenerateShapes) {
+  EXPECT_EQ(smallest_singular_value(Matrix(0, 0)), 0.0);
+  EXPECT_EQ(largest_singular_value(Matrix(3, 0)), 0.0);
+  Matrix one{{2.0}};
+  EXPECT_NEAR(smallest_singular_value(one), 2.0, 1e-14);
+  EXPECT_NEAR(largest_singular_value(one), 2.0, 1e-14);
+  // Wide matrix: thin sigma set has min(m, n) entries.
+  Matrix wide{{3.0, 0.0, 0.0}, {0.0, 4.0, 0.0}};
+  EXPECT_NEAR(smallest_singular_value(wide), 3.0, 1e-12);
+  EXPECT_NEAR(largest_singular_value(wide), 4.0, 1e-12);
+}
+
+TEST(ExtremeSigmaTest, ExactlySingularMatrix) {
+  // sqrt(eps)-floor again: an exact zero comes back as ~1e-8 * sigma_max.
+  Matrix a{{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}};
+  EXPECT_NEAR(smallest_singular_value(a), 0.0, 1e-6);
+}
 
 }  // namespace
 }  // namespace mtdgrid::linalg

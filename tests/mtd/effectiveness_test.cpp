@@ -147,5 +147,62 @@ TEST(EffectivenessTest, ReproducibleWithSameSeed) {
   EXPECT_DOUBLE_EQ(ra.mean_detection, rb.mean_detection);
 }
 
+// --- batched candidate evaluation ---------------------------------------
+
+TEST(EvaluateCandidatesTest, MatchesPerCandidateEvaluationWithSharedSeed) {
+  // With the analytic detection method the only rng use is the attack
+  // sample, so the batched API must reproduce per-candidate calls made
+  // with identically seeded generators.
+  const grid::PowerSystem sys = grid::make_case14();
+  const opf::DispatchResult base = opf::solve_dc_opf(sys);
+  ASSERT_TRUE(base.feasible);
+  const linalg::Matrix h0 = grid::measurement_matrix(sys);
+  const linalg::Vector z0 = grid::noiseless_measurements(
+      sys, sys.reactances(), base.theta_reduced);
+
+  std::vector<linalg::Matrix> candidates;
+  for (double factor : {1.1, 1.3, 0.8}) {
+    linalg::Vector x = sys.reactances();
+    for (std::size_t l : sys.dfacts_branches()) x[l] *= factor;
+    candidates.push_back(grid::measurement_matrix(sys, x));
+  }
+
+  EffectivenessOptions options;
+  options.num_attacks = 120;
+  options.deltas = {0.5, 0.9};
+
+  stats::Rng batch_rng(41);
+  const auto batched =
+      evaluate_candidates(h0, candidates, z0, options, batch_rng);
+  ASSERT_EQ(batched.size(), candidates.size());
+
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    stats::Rng fresh(41);
+    const EffectivenessResult single =
+        evaluate_effectiveness(h0, candidates[i], z0, options, fresh);
+    ASSERT_EQ(batched[i].detection_probabilities.size(),
+              single.detection_probabilities.size());
+    for (std::size_t a = 0; a < single.detection_probabilities.size(); ++a)
+      EXPECT_DOUBLE_EQ(batched[i].detection_probabilities[a],
+                       single.detection_probabilities[a]);
+    ASSERT_EQ(batched[i].eta.size(), single.eta.size());
+    for (std::size_t d = 0; d < single.eta.size(); ++d)
+      EXPECT_DOUBLE_EQ(batched[i].eta[d], single.eta[d]);
+  }
+}
+
+TEST(EvaluateCandidatesTest, EmptyBatchAndValidation) {
+  const grid::PowerSystem sys = grid::make_case14();
+  const linalg::Matrix h0 = grid::measurement_matrix(sys);
+  const linalg::Vector z0(h0.rows(), 10.0);
+  EffectivenessOptions options;
+  options.num_attacks = 10;
+  stats::Rng rng(1);
+  EXPECT_TRUE(evaluate_candidates(h0, {}, z0, options, rng).empty());
+  EXPECT_THROW(
+      evaluate_candidates(h0, {linalg::Matrix(3, 2)}, z0, options, rng),
+      std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace mtdgrid::mtd

@@ -138,5 +138,44 @@ TEST(SelectionTest, ValidatesArguments) {
       std::invalid_argument);
 }
 
+TEST(SelectionTest, ReferencePathAndFastPathBothMeetTheConstraint) {
+  // The fast path is a speed knob: both settings must produce a feasible
+  // perturbation at the threshold (the search trajectories may differ, so
+  // only the contract is compared, not the iterates).
+  Fixture f;
+  for (bool fast : {false, true}) {
+    stats::Rng rng(11);
+    MtdSelectionOptions opt = f.fast_options(0.15);
+    opt.use_fast_path = fast;
+    const MtdSelectionResult r = select_mtd_perturbation(
+        f.sys, f.h_attacker, f.base_cost, opt, rng);
+    EXPECT_TRUE(r.feasible) << "fast=" << fast;
+    EXPECT_GE(r.spa, 0.15 - 2e-3) << "fast=" << fast;
+    // The reported spa always comes from the reference spa() on the final
+    // matrix, so the constraint check is path-independent.
+    EXPECT_NEAR(r.spa, spa(f.h_attacker, r.h_mtd), 1e-9);
+  }
+}
+
+TEST(SelectionTest, WarmStartFromIncumbentIsAccepted) {
+  Fixture f;
+  stats::Rng rng(12);
+  const MtdSelectionResult first = select_mtd_perturbation(
+      f.sys, f.h_attacker, f.base_cost, f.fast_options(0.2), rng);
+  ASSERT_TRUE(first.feasible);
+
+  const auto dfacts = f.sys.dfacts_branches();
+  MtdSelectionOptions warm = f.fast_options(0.2);
+  warm.extra_starts = 0;  // rely on the incumbent alone
+  warm.search.max_evaluations = 300;
+  warm.warm_start = linalg::Vector(dfacts.size());
+  for (std::size_t k = 0; k < dfacts.size(); ++k)
+    warm.warm_start[k] = first.reactances[dfacts[k]];
+  const MtdSelectionResult second = select_mtd_perturbation(
+      f.sys, f.h_attacker, f.base_cost, warm, rng);
+  EXPECT_TRUE(second.feasible);
+  EXPECT_GE(second.spa, 0.2 - 2e-3);
+}
+
 }  // namespace
 }  // namespace mtdgrid::mtd

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
 
 #include "attack/fdi_attack.hpp"
 #include "estimation/state_estimator.hpp"
@@ -165,6 +166,105 @@ TEST(SpaTest, BoundedByRightAngle) {
     EXPECT_GE(gamma, 0.0);
     EXPECT_LE(gamma, std::numbers::pi / 2 + 1e-12);
   }
+}
+
+// --- SpaEvaluator: incremental rank-k gamma vs the reference spa() ------
+
+class SpaEvaluatorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpaEvaluatorProperty, IncrementalGammaMatchesReferenceOnCase14) {
+  const grid::PowerSystem sys = grid::make_case14();
+  const linalg::Matrix h0 = grid::measurement_matrix(sys);
+  const SpaEvaluator eval(sys, h0);
+  ASSERT_TRUE(eval.incremental());
+
+  stats::Rng rng(300 + GetParam());
+  const linalg::Vector lo = sys.reactance_lower_limits();
+  const linalg::Vector hi = sys.reactance_upper_limits();
+  for (int t = 0; t < 6; ++t) {
+    linalg::Vector x = sys.reactances();
+    for (std::size_t l : sys.dfacts_branches())
+      if (rng.uniform() < 0.7) x[l] = rng.uniform(lo[l], hi[l]);
+    const double reference = spa(h0, grid::measurement_matrix(sys, x));
+    EXPECT_NEAR(eval.gamma(x), reference, 1e-10);
+  }
+}
+
+TEST_P(SpaEvaluatorProperty, IncrementalGammaMatchesReferenceOnCase57) {
+  const grid::PowerSystem sys = grid::make_case57();
+  const linalg::Matrix h0 = grid::measurement_matrix(sys);
+  const SpaEvaluator eval(sys, h0);
+  ASSERT_TRUE(eval.incremental());
+
+  stats::Rng rng(350 + GetParam());
+  const linalg::Vector lo = sys.reactance_lower_limits();
+  const linalg::Vector hi = sys.reactance_upper_limits();
+  for (int t = 0; t < 3; ++t) {
+    linalg::Vector x = sys.reactances();
+    for (std::size_t l : sys.dfacts_branches())
+      if (rng.uniform() < 0.7) x[l] = rng.uniform(lo[l], hi[l]);
+    const double reference = spa(h0, grid::measurement_matrix(sys, x));
+    EXPECT_NEAR(eval.gamma(x), reference, 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpaEvaluatorProperty, ::testing::Range(0, 6));
+
+TEST(SpaEvaluatorTest, RecognizesPerturbedReferenceMatrix) {
+  // The attacker's knowledge is usually H at *perturbed* reactances (stale
+  // MTD state), not the nominal ones; recovery must still work.
+  const grid::PowerSystem sys = grid::make_case14();
+  linalg::Vector x_att = sys.reactances();
+  for (std::size_t l : sys.dfacts_branches()) x_att[l] *= 1.17;
+  const linalg::Matrix h_att = grid::measurement_matrix(sys, x_att);
+  const SpaEvaluator eval(sys, h_att);
+  ASSERT_TRUE(eval.incremental());
+  EXPECT_LT(linalg::max_abs_diff(
+                linalg::Matrix::column(eval.reference_reactances()),
+                linalg::Matrix::column(x_att)),
+            1e-9);
+
+  linalg::Vector x = sys.reactances();
+  x[sys.dfacts_branches()[0]] *= 1.4;
+  EXPECT_NEAR(eval.gamma(x), spa(h_att, grid::measurement_matrix(sys, x)),
+              1e-10);
+}
+
+TEST(SpaEvaluatorTest, UnchangedReactancesGiveZeroGamma) {
+  const grid::PowerSystem sys = grid::make_case14();
+  const linalg::Matrix h0 = grid::measurement_matrix(sys);
+  const SpaEvaluator eval(sys, h0);
+  EXPECT_EQ(eval.gamma(sys.reactances()), 0.0);
+}
+
+TEST(SpaEvaluatorTest, ArbitraryAttackerMatrixFallsBackAndStillMatches) {
+  // A randomly rotated attacker matrix is NOT a measurement matrix of the
+  // system: the evaluator must detect that and fall back to the cached-Q0
+  // path, still matching the reference spa().
+  const grid::PowerSystem sys = grid::make_case14();
+  stats::Rng rng(8);
+  const linalg::Matrix h_arbitrary =
+      test::random_matrix(grid::measurement_count(sys),
+                          sys.num_buses() - 1, rng);
+  const SpaEvaluator eval(sys, h_arbitrary);
+  EXPECT_FALSE(eval.incremental());
+
+  linalg::Vector x = sys.reactances();
+  for (std::size_t l : sys.dfacts_branches()) x[l] *= 1.25;
+  const double reference =
+      spa(h_arbitrary, grid::measurement_matrix(sys, x));
+  EXPECT_NEAR(eval.gamma(x), reference, 1e-10);
+  EXPECT_NEAR(eval.gamma_full(grid::measurement_matrix(sys, x)), reference,
+              1e-10);
+}
+
+TEST(SpaEvaluatorTest, RejectsWrongDimensions) {
+  const grid::PowerSystem sys = grid::make_case14();
+  EXPECT_THROW(SpaEvaluator(sys, linalg::Matrix(3, 2)),
+               std::invalid_argument);
+  const linalg::Matrix h0 = grid::measurement_matrix(sys);
+  const SpaEvaluator eval(sys, h0);
+  EXPECT_THROW(eval.gamma(linalg::Vector(2)), std::invalid_argument);
 }
 
 }  // namespace

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "grid/cases.hpp"
 #include "grid/power_flow.hpp"
+#include "stats/rng.hpp"
 
 namespace mtdgrid::opf {
 namespace {
@@ -169,6 +173,75 @@ TEST_P(DcOpfLoadMonotoneProperty, CostIncreasesWithLoad) {
 
 INSTANTIATE_TEST_SUITE_P(Scales, DcOpfLoadMonotoneProperty,
                          ::testing::Values(0.55, 0.7, 0.85, 1.0, 1.1, 1.2));
+
+// --- DispatchEvaluator: amortized OPF sweeps ----------------------------
+
+class DispatchEvaluatorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DispatchEvaluatorProperty, MatchesSimplexAcrossPerturbations) {
+  const PowerSystem sys =
+      GetParam() % 2 == 0 ? grid::make_case14() : grid::make_case57();
+  const DispatchEvaluator evaluator(sys);
+  stats::Rng rng(500 + GetParam());
+  const linalg::Vector lo = sys.reactance_lower_limits();
+  const linalg::Vector hi = sys.reactance_upper_limits();
+  for (int t = 0; t < 5; ++t) {
+    linalg::Vector x = sys.reactances();
+    for (std::size_t l : sys.dfacts_branches())
+      x[l] = rng.uniform(lo[l], hi[l]);
+    const DispatchResult reference = solve_dc_opf(sys, x);
+    const DispatchResult fast = evaluator.evaluate(x);
+    ASSERT_EQ(fast.feasible, reference.feasible);
+    if (reference.feasible) {
+      EXPECT_NEAR(fast.cost, reference.cost,
+                  1e-6 * std::max(1.0, reference.cost));
+      // The returned dispatch must balance and respect the flow limits.
+      double total = 0.0;
+      for (std::size_t g = 0; g < fast.generation_mw.size(); ++g)
+        total += fast.generation_mw[g];
+      EXPECT_NEAR(total, sys.total_load_mw(), 1e-6);
+      for (std::size_t l = 0; l < sys.num_branches(); ++l)
+        EXPECT_LE(std::abs(fast.flows_mw[l]),
+                  sys.branch(l).flow_limit_mw + 1e-5);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DispatchEvaluatorProperty,
+                         ::testing::Range(0, 6));
+
+TEST(DispatchEvaluatorTest, FallsBackToSimplexUnderCongestion) {
+  // Shrink one loaded line's limit so the merit-order dispatch violates it:
+  // the evaluator must fall back to the LP and still match solve_dc_opf.
+  PowerSystem sys = grid::make_case14();
+  const DispatchResult base = solve_dc_opf(sys);
+  ASSERT_TRUE(base.feasible);
+  std::size_t busiest = 0;
+  for (std::size_t l = 1; l < sys.num_branches(); ++l)
+    if (std::abs(base.flows_mw[l]) > std::abs(base.flows_mw[busiest]))
+      busiest = l;
+  sys.branch(busiest).flow_limit_mw = 0.9 * std::abs(base.flows_mw[busiest]);
+
+  const DispatchEvaluator evaluator(sys);
+  const DispatchResult reference = solve_dc_opf(sys, sys.reactances());
+  const DispatchResult fast = evaluator.evaluate(sys.reactances());
+  ASSERT_EQ(fast.feasible, reference.feasible);
+  if (reference.feasible)
+    EXPECT_NEAR(fast.cost, reference.cost,
+                1e-6 * std::max(1.0, reference.cost));
+  EXPECT_GE(evaluator.lp_fallbacks(), 1u);
+}
+
+TEST(DispatchEvaluatorTest, FastPathIsTakenWhenUncongested) {
+  const PowerSystem sys = uncongested_two_gen();
+  const DispatchEvaluator evaluator(sys);
+  const DispatchResult fast = evaluator.evaluate(sys.reactances());
+  const DispatchResult reference = solve_dc_opf(sys);
+  ASSERT_TRUE(fast.feasible);
+  EXPECT_NEAR(fast.cost, reference.cost, 1e-9 * (1.0 + reference.cost));
+  EXPECT_EQ(evaluator.fast_path_hits(), 1u);
+  EXPECT_EQ(evaluator.lp_fallbacks(), 0u);
+}
 
 }  // namespace
 }  // namespace mtdgrid::opf

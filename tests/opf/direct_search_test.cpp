@@ -103,5 +103,56 @@ TEST(DirectSearchTest, DegenerateBoxSingleFeasiblePoint) {
   EXPECT_NEAR(r.x[1], 0.0, 1e-5);
 }
 
+// --- explicit-start portfolio overload ----------------------------------
+
+TEST(MultiStartTest, ExplicitStartsIncludeIncumbent) {
+  // Objective with a narrow global minimum at the "incumbent": random
+  // starts with zero extra budget would miss it, the warm start finds it.
+  const linalg::Vector lo(2, -10.0), hi(2, 10.0);
+  const linalg::Vector incumbent{7.3, -4.2};
+  const auto objective = [&](const linalg::Vector& x) {
+    double d2 = 0.0;
+    for (std::size_t i = 0; i < 2; ++i) {
+      const double d = x[i] - incumbent[i];
+      d2 += d * d;
+    }
+    return -std::exp(-25.0 * d2);  // deep, narrow well at the incumbent
+  };
+  stats::Rng rng(5);
+  DirectSearchOptions options;
+  options.max_evaluations = 400;
+  const DirectSearchResult r = multi_start_minimize(
+      objective, lo, hi, std::vector<linalg::Vector>{incumbent}, 0, rng,
+      options);
+  EXPECT_NEAR(r.value, -1.0, 1e-6);
+  EXPECT_NEAR(r.x[0], incumbent[0], 1e-3);
+  EXPECT_NEAR(r.x[1], incumbent[1], 1e-3);
+}
+
+TEST(MultiStartTest, EmptyPortfolioStillSearches) {
+  const linalg::Vector lo(1, -1.0), hi(1, 1.0);
+  const auto objective = [](const linalg::Vector& x) { return x[0] * x[0]; };
+  stats::Rng rng(6);
+  const DirectSearchResult r = multi_start_minimize(
+      objective, lo, hi, std::vector<linalg::Vector>{}, 0, rng, {});
+  EXPECT_NEAR(r.value, 0.0, 1e-6);
+  EXPECT_GT(r.evaluations, 0);
+}
+
+TEST(MultiStartTest, SingleStartOverloadAgreesWithPortfolioForm) {
+  const linalg::Vector lo(2, -2.0), hi(2, 2.0);
+  const auto objective = [](const linalg::Vector& x) {
+    return (x[0] - 1.0) * (x[0] - 1.0) + (x[1] + 0.5) * (x[1] + 0.5);
+  };
+  const linalg::Vector x0(2, 0.0);
+  stats::Rng rng_a(9), rng_b(9);
+  const DirectSearchResult a =
+      multi_start_minimize(objective, lo, hi, x0, 2, rng_a, {});
+  const DirectSearchResult b = multi_start_minimize(
+      objective, lo, hi, std::vector<linalg::Vector>{x0}, 2, rng_b, {});
+  EXPECT_DOUBLE_EQ(a.value, b.value);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
 }  // namespace
 }  // namespace mtdgrid::opf

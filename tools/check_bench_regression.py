@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Merge google-benchmark JSON outputs and guard them against a baseline.
+
+Subcommands:
+
+  merge  OUT IN1 [IN2 ...] [--only REGEX]
+      Combine the "benchmarks" arrays of several --benchmark_format=json
+      outputs into one file (optionally keeping only names matching REGEX).
+      Context from the first input is preserved.
+
+  check  --baseline FILE --current FILE [--max-regression 0.20]
+         [--normalize-by NAME] [--min-speedup SLOW:FAST:RATIO ...]
+      Fails (exit 1) when any benchmark present in the baseline is missing
+      from the current run, or is slower than baseline * (1 + max-regression).
+      With --normalize-by, every time is divided by the named benchmark's
+      time from the same file first — this compares machine-independent
+      ratios, which is what CI uses (absolute wall times differ across
+      runners; the fast-path-vs-reference ratio does not).
+      Each --min-speedup SLOW:FAST:RATIO additionally asserts that in the
+      *current* run, time(SLOW) / time(FAST) >= RATIO.
+
+Refresh the baseline by rebuilding Release benches and re-running merge
+(see README "Performance" section).
+"""
+
+import argparse
+import json
+import re
+import sys
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    with open(path) as fh:
+        data = json.load(fh)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type", "iteration") == "aggregate":
+            continue
+        out[b["name"]] = b["real_time"] * _UNIT_NS[b.get("time_unit", "ns")]
+    return data, out
+
+
+def cmd_merge(args):
+    merged = None
+    benchmarks = []
+    seen = set()
+    pattern = re.compile(args.only) if args.only else None
+    for path in args.inputs:
+        data, _ = load_benchmarks(path)
+        if merged is None:
+            merged = {"context": data.get("context", {}), "benchmarks": []}
+        for b in data.get("benchmarks", []):
+            if pattern and not pattern.search(b["name"]):
+                continue
+            if b["name"] in seen:
+                continue
+            seen.add(b["name"])
+            benchmarks.append(b)
+    if merged is None:
+        print("merge: no inputs", file=sys.stderr)
+        return 1
+    merged["benchmarks"] = benchmarks
+    with open(args.out, "w") as fh:
+        json.dump(merged, fh, indent=2)
+        fh.write("\n")
+    print(f"merge: wrote {len(benchmarks)} benchmarks to {args.out}")
+    return 0
+
+
+def _normalized(times, reference_name, path):
+    if reference_name is None:
+        return dict(times)
+    if reference_name not in times:
+        print(f"check: normalizer '{reference_name}' missing from {path}",
+              file=sys.stderr)
+        return None
+    ref = times[reference_name]
+    return {name: t / ref for name, t in times.items()}
+
+
+def cmd_check(args):
+    _, base_times = load_benchmarks(args.baseline)
+    _, cur_times = load_benchmarks(args.current)
+    failures = []
+
+    base_n = _normalized(base_times, args.normalize_by, args.baseline)
+    cur_n = _normalized(cur_times, args.normalize_by, args.current)
+    if base_n is None or cur_n is None:
+        return 1
+
+    unit = "x-of-" + args.normalize_by if args.normalize_by else "ns"
+    print(f"{'benchmark':<44} {'baseline':>12} {'current':>12}  verdict")
+    for name in sorted(base_n):
+        if args.normalize_by and name == args.normalize_by:
+            continue
+        if name not in cur_n:
+            failures.append(f"{name}: missing from current run")
+            print(f"{name:<44} {base_n[name]:>12.4g} {'MISSING':>12}  FAIL")
+            continue
+        limit = base_n[name] * (1.0 + args.max_regression)
+        verdict = "ok" if cur_n[name] <= limit else "FAIL"
+        if verdict == "FAIL":
+            failures.append(
+                f"{name}: {cur_n[name]:.4g} {unit} vs baseline "
+                f"{base_n[name]:.4g} {unit} "
+                f"(>{100 * args.max_regression:.0f}% regression)")
+        print(f"{name:<44} {base_n[name]:>12.4g} {cur_n[name]:>12.4g}  "
+              f"{verdict}")
+
+    for spec in args.min_speedup or []:
+        try:
+            slow, fast, ratio_s = spec.rsplit(":", 2)
+            ratio = float(ratio_s)
+        except ValueError:
+            failures.append(f"bad --min-speedup spec '{spec}'")
+            continue
+        if slow not in cur_times or fast not in cur_times:
+            failures.append(f"--min-speedup {spec}: benchmark missing")
+            continue
+        achieved = cur_times[slow] / cur_times[fast]
+        verdict = "ok" if achieved >= ratio else "FAIL"
+        if verdict == "FAIL":
+            failures.append(
+                f"speedup {slow} / {fast} = {achieved:.2f}x < {ratio:.2f}x")
+        print(f"speedup {slow} / {fast}: {achieved:.2f}x "
+              f"(required {ratio:.2f}x)  {verdict}")
+
+    if failures:
+        print("\nPerformance check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nPerformance check passed.")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_merge = sub.add_parser("merge")
+    p_merge.add_argument("out")
+    p_merge.add_argument("inputs", nargs="+")
+    p_merge.add_argument("--only", help="keep only names matching this regex")
+    p_merge.set_defaults(func=cmd_merge)
+
+    p_check = sub.add_parser("check")
+    p_check.add_argument("--baseline", required=True)
+    p_check.add_argument("--current", required=True)
+    p_check.add_argument("--max-regression", type=float, default=0.20)
+    p_check.add_argument("--normalize-by", default=None)
+    p_check.add_argument("--min-speedup", action="append",
+                         metavar="SLOW:FAST:RATIO")
+    p_check.set_defaults(func=cmd_check)
+
+    args = parser.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()

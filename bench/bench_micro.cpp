@@ -31,7 +31,8 @@ grid::PowerSystem system_for(int id) {
     case 1: return grid::make_case_wscc9();
     case 2: return grid::make_case14();
     case 3: return grid::make_case_ieee30();
-    default: return grid::make_case57();
+    case 4: return grid::make_case57();
+    default: return grid::make_case118();
   }
 }
 
@@ -41,7 +42,8 @@ const char* system_name(int id) {
     case 1: return "wscc9";
     case 2: return "ieee14";
     case 3: return "ieee30";
-    default: return "case57";
+    case 4: return "case57";
+    default: return "case118";
   }
 }
 
@@ -53,7 +55,7 @@ void BM_MeasurementMatrix(benchmark::State& state) {
   }
   state.SetLabel(system_name(static_cast<int>(state.range(0))));
 }
-BENCHMARK(BM_MeasurementMatrix)->DenseRange(0, 4);
+BENCHMARK(BM_MeasurementMatrix)->DenseRange(0, 5);
 
 void BM_DcPowerFlow(benchmark::State& state) {
   const grid::PowerSystem sys = system_for(static_cast<int>(state.range(0)));
@@ -67,7 +69,7 @@ void BM_DcPowerFlow(benchmark::State& state) {
   }
   state.SetLabel(system_name(static_cast<int>(state.range(0))));
 }
-BENCHMARK(BM_DcPowerFlow)->DenseRange(0, 4);
+BENCHMARK(BM_DcPowerFlow)->DenseRange(0, 5);
 
 void BM_DispatchLp(benchmark::State& state) {
   const grid::PowerSystem sys = system_for(static_cast<int>(state.range(0)));
@@ -76,7 +78,7 @@ void BM_DispatchLp(benchmark::State& state) {
   }
   state.SetLabel(system_name(static_cast<int>(state.range(0))));
 }
-BENCHMARK(BM_DispatchLp)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DispatchLp)->DenseRange(0, 5)->Unit(benchmark::kMicrosecond);
 
 void BM_EstimatorConstruction(benchmark::State& state) {
   const grid::PowerSystem sys = system_for(static_cast<int>(state.range(0)));
@@ -87,7 +89,7 @@ void BM_EstimatorConstruction(benchmark::State& state) {
   }
   state.SetLabel(system_name(static_cast<int>(state.range(0))));
 }
-BENCHMARK(BM_EstimatorConstruction)->DenseRange(0, 4);
+BENCHMARK(BM_EstimatorConstruction)->DenseRange(0, 5);
 
 void BM_WlsEstimate(benchmark::State& state) {
   const grid::PowerSystem sys = grid::make_case14();
@@ -211,6 +213,28 @@ void BM_Case57SelectionLoopFast(benchmark::State& state) {
 }
 BENCHMARK(BM_Case57SelectionLoopFast)->Unit(benchmark::kMillisecond);
 
+void BM_Case118SelectionLoopFast(benchmark::State& state) {
+  // The amortized selection sweep at IEEE 118-bus scale (490 x 117
+  // measurement model, loaded through the io subsystem). Guarded in CI
+  // against bench/baseline.json like the case57 loops.
+  const grid::PowerSystem sys = grid::make_case118();
+  const linalg::Matrix h0 = grid::measurement_matrix(sys);
+  const auto candidates = selection_candidates(sys, kSelectionSweep);
+  const mtd::SpaEvaluator spa_eval(sys, h0);
+  const opf::DispatchEvaluator dispatch_eval(sys);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const linalg::Vector& x : candidates) {
+      const opf::DispatchResult d = dispatch_eval.evaluate(x);
+      acc += d.feasible ? d.cost : 0.0;
+      acc += spa_eval.gamma(x);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * kSelectionSweep);
+}
+BENCHMARK(BM_Case118SelectionLoopFast)->Unit(benchmark::kMillisecond);
+
 void BM_SpaIncremental(benchmark::State& state) {
   const grid::PowerSystem sys = system_for(static_cast<int>(state.range(0)));
   const linalg::Matrix h0 = grid::measurement_matrix(sys);
@@ -222,7 +246,7 @@ void BM_SpaIncremental(benchmark::State& state) {
   }
   state.SetLabel(system_name(static_cast<int>(state.range(0))));
 }
-BENCHMARK(BM_SpaIncremental)->DenseRange(0, 4);
+BENCHMARK(BM_SpaIncremental)->DenseRange(0, 5);
 
 void BM_LargestPrincipalAngleQr(benchmark::State& state) {
   const grid::PowerSystem sys = system_for(static_cast<int>(state.range(0)));
@@ -235,7 +259,7 @@ void BM_LargestPrincipalAngleQr(benchmark::State& state) {
   }
   state.SetLabel(system_name(static_cast<int>(state.range(0))));
 }
-BENCHMARK(BM_LargestPrincipalAngleQr)->DenseRange(0, 4);
+BENCHMARK(BM_LargestPrincipalAngleQr)->DenseRange(0, 5);
 
 void BM_IncrementalHUpdate(benchmark::State& state) {
   const grid::PowerSystem sys = grid::make_case57();

@@ -1,0 +1,77 @@
+function mpc = ieee14
+% MATPOWER caseformat written by mtdgrid io::write_matpower.
+% Round-trips the PowerSystem exactly (shortest-round-trip number format).
+mpc.version = '2';
+
+mpc.baseMVA = 100;
+
+%% bus data: bus_i type Pd Qd Gs Bs area Vm Va baseKV zone Vmax Vmin
+mpc.bus = [
+	1	3	0	0	0	0	1	1	0	0	1	1.06	0.94;
+	2	2	21.7	0	0	0	1	1	0	0	1	1.06	0.94;
+	3	2	94.2	0	0	0	1	1	0	0	1	1.06	0.94;
+	4	1	47.8	0	0	0	1	1	0	0	1	1.06	0.94;
+	5	1	7.6	0	0	0	1	1	0	0	1	1.06	0.94;
+	6	2	11.2	0	0	0	1	1	0	0	1	1.06	0.94;
+	7	1	0	0	0	0	1	1	0	0	1	1.06	0.94;
+	8	2	0	0	0	0	1	1	0	0	1	1.06	0.94;
+	9	1	29.5	0	0	0	1	1	0	0	1	1.06	0.94;
+	10	1	9	0	0	0	1	1	0	0	1	1.06	0.94;
+	11	1	3.5	0	0	0	1	1	0	0	1	1.06	0.94;
+	12	1	6.1	0	0	0	1	1	0	0	1	1.06	0.94;
+	13	1	13.5	0	0	0	1	1	0	0	1	1.06	0.94;
+	14	1	14.9	0	0	0	1	1	0	0	1	1.06	0.94;
+];
+
+%% generator data: bus Pg Qg Qmax Qmin Vg mBase status Pmax Pmin
+mpc.gen = [
+	1	0	0	0	0	1	100	1	300	0;
+	2	0	0	0	0	1	100	1	50	0;
+	3	0	0	0	0	1	100	1	30	0;
+	6	0	0	0	0	1	100	1	50	0;
+	8	0	0	0	0	1	100	1	20	0;
+];
+
+%% generator cost data: model startup shutdown n c1 c0
+mpc.gencost = [
+	2	0	0	2	20	0;
+	2	0	0	2	30	0;
+	2	0	0	2	40	0;
+	2	0	0	2	50	0;
+	2	0	0	2	35	0;
+];
+
+%% branch data: fbus tbus r x b rateA rateB rateC ratio angle status
+mpc.branch = [
+	1	2	0	0.05917	0	160	0	0	0	0	1;
+	1	5	0	0.22304	0	60	0	0	0	0	1;
+	2	3	0	0.19797	0	60	0	0	0	0	1;
+	2	4	0	0.17632	0	60	0	0	0	0	1;
+	2	5	0	0.17388	0	60	0	0	0	0	1;
+	3	4	0	0.17103	0	60	0	0	0	0	1;
+	4	5	0	0.04211	0	60	0	0	0	0	1;
+	4	7	0	0.20912	0	60	0	0	0	0	1;
+	4	9	0	0.55618	0	60	0	0	0	0	1;
+	5	6	0	0.25202	0	60	0	0	0	0	1;
+	6	11	0	0.1989	0	60	0	0	0	0	1;
+	6	12	0	0.25581	0	60	0	0	0	0	1;
+	6	13	0	0.13027	0	60	0	0	0	0	1;
+	7	8	0	0.17615	0	60	0	0	0	0	1;
+	7	9	0	0.11001	0	60	0	0	0	0	1;
+	9	10	0	0.0845	0	60	0	0	0	0	1;
+	9	14	0	0.27038	0	60	0	0	0	0	1;
+	10	11	0	0.19207	0	60	0	0	0	0	1;
+	12	13	0	0.19988	0	60	0	0	0	0	1;
+	13	14	0	0.34802	0	60	0	0	0	0	1;
+];
+
+%% mtdgrid extension: D-FACTS devices as
+%% [branch_row min_factor max_factor] (1-based mpc.branch rows)
+mpc.dfacts = [
+	1	0.5	1.5;
+	5	0.5	1.5;
+	9	0.5	1.5;
+	11	0.5	1.5;
+	17	0.5	1.5;
+	19	0.5	1.5;
+];

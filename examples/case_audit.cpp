@@ -1,0 +1,154 @@
+// Case-file audit: the CI gate for the data/ directory.
+//
+// For every bundled MATPOWER file (or any case name / .m path given on the
+// command line) this loads the case through io::load_case — which already
+// enforces structural validity and a connected network — then checks that:
+//  * the base-case DC-OPF is feasible,
+//  * power balances at every bus (net branch flow == injection, <= 1e-6),
+//  * the dispatch stays feasible across the uniform D-FACTS envelope
+//    (all-device factors 0.5, 0.75, 1.25, 1.5 — the perturbations the MTD
+//    pipeline applies).
+// Exit code 0 means every audited file passed; 1 means a failure (printed
+// with its file:line diagnostic when the loader produced one); 2 usage.
+//
+// --suggest-limits prints a per-branch RATE_A suggestion (1.25x the worst
+// envelope flow at the base dispatch, rounded up) — the sizing rule used
+// for the bundled case118/case300 limits.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "grid/power_flow.hpp"
+#include "io/case_registry.hpp"
+#include "opf/dc_opf.hpp"
+
+namespace {
+
+using namespace mtdgrid;
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--suggest-limits] [case-or-path ...]\n"
+               "  with no cases given, audits every .m file in the data "
+               "directory\n",
+               prog);
+  return 2;
+}
+
+double nice_limit(double mw) {
+  const double step = mw < 100.0 ? 10.0 : (mw < 1000.0 ? 50.0 : 100.0);
+  return step * std::ceil(mw / step);
+}
+
+bool audit(const std::string& spec, bool suggest_limits) {
+  grid::PowerSystem sys = io::load_case(spec);
+
+  const opf::DispatchResult base = opf::solve_dc_opf(sys);
+  if (!base.feasible) {
+    std::fprintf(stderr, "FAIL %s: base DC-OPF infeasible\n", spec.c_str());
+    return false;
+  }
+
+  // Per-bus DC balance at the optimal dispatch.
+  const linalg::Vector inj = grid::nodal_injections(sys, base.generation_mw);
+  std::vector<double> net(sys.num_buses(), 0.0);
+  for (std::size_t l = 0; l < sys.num_branches(); ++l) {
+    net[sys.branch(l).from] += base.flows_mw[l];
+    net[sys.branch(l).to] -= base.flows_mw[l];
+  }
+  for (std::size_t i = 0; i < sys.num_buses(); ++i) {
+    if (std::abs(net[i] - inj[i]) > 1e-6) {
+      std::fprintf(stderr,
+                   "FAIL %s: DC balance violated at bus %zu "
+                   "(net flow %.9f MW vs injection %.9f MW)\n",
+                   spec.c_str(), i + 1, net[i], inj[i]);
+      return false;
+    }
+  }
+
+  // Worst |flow| per branch across the uniform D-FACTS envelope, at the
+  // base dispatch (the MTD re-keying loop perturbs exactly these devices).
+  std::vector<double> worst(sys.num_branches(), 0.0);
+  double max_utilization = 0.0;
+  for (double factor : {0.5, 0.75, 1.0, 1.25, 1.5}) {
+    linalg::Vector x = sys.reactances();
+    for (std::size_t l : sys.dfacts_branches()) x[l] *= factor;
+    const grid::DcPowerFlowResult pf =
+        grid::solve_dc_power_flow(sys, x, inj);
+    for (std::size_t l = 0; l < sys.num_branches(); ++l)
+      worst[l] = std::max(worst[l], std::abs(pf.flows_mw[l]));
+    if (factor != 1.0) {
+      const opf::DispatchResult r = opf::solve_dc_opf(sys, x);
+      if (!r.feasible) {
+        std::fprintf(stderr,
+                     "FAIL %s: DC-OPF infeasible at D-FACTS factor %.2f\n",
+                     spec.c_str(), factor);
+        return false;
+      }
+    }
+  }
+  for (std::size_t l = 0; l < sys.num_branches(); ++l)
+    max_utilization =
+        std::max(max_utilization, worst[l] / sys.branch(l).flow_limit_mw);
+
+  if (suggest_limits) {
+    std::printf("%% suggested RATE_A for %s (1.25x worst envelope flow)\n",
+                sys.name().c_str());
+    for (std::size_t l = 0; l < sys.num_branches(); ++l)
+      std::printf("%zu %g\n", l + 1,
+                  nice_limit(std::max(1.25 * worst[l], 30.0)));
+    return true;
+  }
+
+  std::printf(
+      "ok  %-10s %4zu buses %4zu branches %3zu gens  load %9.1f MW  "
+      "cost %11.1f $/h  peak util %.0f%%\n",
+      sys.name().c_str(), sys.num_buses(), sys.num_branches(),
+      sys.num_generators(), sys.total_load_mw(), base.cost,
+      100.0 * max_utilization);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool suggest_limits = false;
+  std::vector<std::string> specs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--suggest-limits") == 0) {
+      suggest_limits = true;
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      specs.emplace_back(argv[i]);
+    }
+  }
+  if (specs.empty()) {
+    const std::string dir = io::CaseRegistry::global().data_dir();
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec))
+      if (entry.path().extension() == ".m")
+        specs.push_back(entry.path().string());
+    if (ec || specs.empty()) {
+      std::fprintf(stderr, "no .m files found in '%s'\n", dir.c_str());
+      return 1;
+    }
+    std::sort(specs.begin(), specs.end());
+  }
+
+  bool all_ok = true;
+  for (const std::string& spec : specs) {
+    try {
+      all_ok = audit(spec, suggest_limits) && all_ok;
+    } catch (const io::CaseIoError& e) {
+      std::fprintf(stderr, "FAIL %s\n", e.what());
+      all_ok = false;
+    }
+  }
+  return all_ok ? 0 : 1;
+}

@@ -7,7 +7,7 @@
 // current measurement matrix, and reports the distribution — then contrasts
 // it with a single SPA-designed perturbation at the same device limits.
 //
-// Usage: keyspace_audit [case4|wscc9|ieee14|ieee30|case57] [keyspace_size]
+// Usage: keyspace_audit [case-name-or-.m-path] [keyspace_size]
 
 #include <algorithm>
 #include <cerrno>
@@ -17,8 +17,8 @@
 #include <optional>
 #include <string>
 
-#include "grid/cases.hpp"
 #include "grid/measurement.hpp"
+#include "io/case_registry.hpp"
 #include "grid/power_flow.hpp"
 #include "mtd/effectiveness.hpp"
 #include "mtd/random_mtd.hpp"
@@ -31,23 +31,25 @@
 namespace {
 
 int usage(const char* prog) {
+  const std::string known =
+      mtdgrid::io::CaseRegistry::global().joined_names("|");
   std::fprintf(stderr,
-               "usage: %s [case4|wscc9|ieee14|ieee30|case57] "
-               "[keyspace_size]\n"
+               "usage: %s [%s|<path>.m] [keyspace_size]\n"
                "  keyspace_size must be a positive integer (default 200)\n",
-               prog);
+               prog, known.c_str());
   return 2;
 }
 
 std::optional<mtdgrid::grid::PowerSystem> system_by_name(
     const std::string& name) {
-  using namespace mtdgrid::grid;
-  if (name == "case4") return make_case4();
-  if (name == "wscc9") return make_case_wscc9();
-  if (name == "ieee14" || name == "case14") return make_case14();
-  if (name == "ieee30" || name == "case30") return make_case_ieee30();
-  if (name == "case57" || name == "ieee57") return make_case57();
-  return std::nullopt;
+  const auto& registry = mtdgrid::io::CaseRegistry::global();
+  if (!registry.knows(name)) return std::nullopt;
+  try {
+    return registry.load(name);
+  } catch (const mtdgrid::io::CaseIoError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return std::nullopt;
+  }
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <iterator>
 
+#include "io/case_registry.hpp"
+
 namespace mtdgrid::grid {
 
 namespace {
@@ -188,9 +190,15 @@ PowerSystem make_case_wscc9() {
                      std::move(generators));
 }
 
-PowerSystem make_case14() { return make_case_ieee14(); }
+PowerSystem make_case14() { return io::load_case("case14"); }
 
-PowerSystem make_case57() {
+PowerSystem make_case57() { return io::load_case("case57"); }
+
+PowerSystem make_case118() { return io::load_case("case118"); }
+
+PowerSystem make_case300() { return io::load_case("case300"); }
+
+PowerSystem make_case57_legacy() {
   std::vector<Bus> buses(57);
   // MATPOWER case57 loads (MW); total 1250.8.
   const struct {

@@ -31,9 +31,10 @@ PowerSystem make_case_ieee30();
 /// for tests and examples. D-FACTS on three branches.
 PowerSystem make_case_wscc9();
 
-/// Canonical short name for the IEEE 14-bus scenario; identical to
-/// `make_case_ieee14()`. Exists so the scenario matrix reads
-/// case4 / case14 / case57 uniformly.
+/// Canonical short name for the IEEE 14-bus scenario. Loads
+/// `data/case14.m` through the MATPOWER loader (`io::load_case`); the
+/// loaded system equals the hand-coded `make_case_ieee14()` tables to
+/// machine precision (cross-checked in tests/io/case_registry_test.cpp).
 PowerSystem make_case14();
 
 /// IEEE 57-bus system (MATPOWER `case57` topology: 57 buses, 80 branches
@@ -44,6 +45,26 @@ PowerSystem make_case14();
 /// sized from the base-case DC-OPF so the nominal dispatch is feasible
 /// with margin while large reactance perturbations can still force a
 /// re-dispatch.
+///
+/// Loads `data/case57.m`; equals `make_case57_legacy()` to machine
+/// precision (cross-checked in tests).
 PowerSystem make_case57();
+
+/// The frozen PR-1 hand-coded case57 tables, kept as the reference the
+/// loader round-trip tests compare against (and as the source
+/// `tools/export_legacy_cases` regenerates `data/case57.m` from).
+PowerSystem make_case57_legacy();
+
+/// IEEE 118-bus system loaded from `data/case118.m`: 118 buses, 186
+/// branches (including the MATPOWER case118 parallel circuits), 19
+/// dispatchable generators with linearized merit-order costs, 12 D-FACTS
+/// branches. Flow limits are sized against the base-case DC-OPF so the
+/// nominal dispatch is feasible with margin across the D-FACTS envelope.
+PowerSystem make_case118();
+
+/// 300-bus large-scale scenario loaded from `data/case300.m` (see that
+/// file's header for provenance). The biggest bundled case; tests that
+/// sweep it carry the ctest `slow` label.
+PowerSystem make_case300();
 
 }  // namespace mtdgrid::grid

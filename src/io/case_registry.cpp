@@ -1,0 +1,115 @@
+#include "io/case_registry.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "grid/cases.hpp"
+#include "io/matpower.hpp"
+
+#ifndef MTDGRID_DATA_DIR
+#define MTDGRID_DATA_DIR "data"
+#endif
+
+namespace mtdgrid::io {
+
+namespace {
+
+bool looks_like_path(const std::string& s) {
+  return s.find('/') != std::string::npos ||
+         (s.size() > 2 && s.compare(s.size() - 2, 2, ".m") == 0);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw CaseIoError(path + ": cannot open file");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+const CaseRegistry& CaseRegistry::global() {
+  static const CaseRegistry registry = [] {
+    CaseRegistry r;
+    r.entries_ = {
+        {"case4", {"case4gs"}, "", &grid::make_case4,
+         "paper Section IV-B worked example (Grainger & Stevenson)"},
+        {"wscc9", {"case9"}, "", &grid::make_case_wscc9,
+         "WSCC 9-bus system"},
+        {"case14", {"ieee14"}, "case14.m", nullptr,
+         "IEEE 14-bus, paper Section VII-A settings"},
+        {"ieee30", {"case30"}, "", &grid::make_case_ieee30,
+         "IEEE 30-bus system"},
+        {"case57", {"ieee57"}, "case57.m", nullptr,
+         "IEEE 57-bus (MATPOWER case57 topology)"},
+        {"case118", {"ieee118"}, "case118.m", nullptr,
+         "IEEE 118-bus system, linearized merit-order costs"},
+        {"case300", {"ieee300"}, "case300.m", nullptr,
+         "300-bus large-scale scenario (slow; see data/case300.m header)"},
+    };
+    return r;
+  }();
+  return registry;
+}
+
+std::vector<std::string> CaseRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const CaseEntry& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+std::string CaseRegistry::joined_names(const std::string& sep) const {
+  std::string out;
+  for (const CaseEntry& e : entries_)
+    out += (out.empty() ? "" : sep) + e.name;
+  return out;
+}
+
+std::string CaseRegistry::data_dir() const {
+  if (const char* env = std::getenv("MTDGRID_DATA_DIR"))
+    if (*env != '\0') return env;
+  return MTDGRID_DATA_DIR;
+}
+
+bool CaseRegistry::knows(const std::string& name_or_path) const {
+  if (looks_like_path(name_or_path)) return true;
+  for (const CaseEntry& e : entries_) {
+    if (e.name == name_or_path) return true;
+    for (const std::string& alias : e.aliases)
+      if (alias == name_or_path) return true;
+  }
+  return false;
+}
+
+grid::PowerSystem CaseRegistry::load_file(const std::string& path) const {
+  const std::string text = read_file(path);
+  ParseError error;
+  std::optional<MatpowerCase> mpc = parse_matpower(text, &error);
+  if (!mpc) throw CaseIoError(path + ": " + error.to_string());
+  std::optional<grid::PowerSystem> sys = to_power_system(*mpc, &error);
+  if (!sys) throw CaseIoError(path + ": " + error.to_string());
+  return std::move(*sys);
+}
+
+grid::PowerSystem CaseRegistry::load(const std::string& name_or_path) const {
+  if (looks_like_path(name_or_path)) return load_file(name_or_path);
+  for (const CaseEntry& e : entries_) {
+    bool match = e.name == name_or_path;
+    for (const std::string& alias : e.aliases)
+      match = match || alias == name_or_path;
+    if (!match) continue;
+    if (e.factory != nullptr) return e.factory();
+    return load_file(data_dir() + "/" + e.file);
+  }
+  throw CaseIoError("unknown case '" + name_or_path + "' (known: " +
+                    joined_names(", ") + ", or a path to a .m file)");
+}
+
+grid::PowerSystem load_case(const std::string& name_or_path) {
+  return CaseRegistry::global().load(name_or_path);
+}
+
+}  // namespace mtdgrid::io

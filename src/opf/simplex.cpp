@@ -20,6 +20,9 @@ constexpr std::size_t kMaxIterations = 50000;
 // variable) drift to ~-1e-9 and used to trigger bogus kUnbounded — which
 // solve_dc_opf then surfaced as a bogus "infeasible" dispatch.
 constexpr double kNoiseCostTol = 1e-6;
+// Ratio-test pivot eligibility relative to the entering column's largest
+// entry; see the comment at the ratio test.
+constexpr double kRelPivotTol = 1e-7;
 
 /// How an original variable maps onto the non-negative standard-form ones.
 struct VariableMap {
@@ -79,39 +82,99 @@ class Tableau {
 };
 
 /// Runs Bland-rule simplex iterations on an already-canonical tableau.
-/// `allowed[c]` marks columns eligible to enter the basis.
+/// `allowed[c]` marks columns eligible to enter the basis. `phase_one`
+/// marks the artificial-objective run: the sum of artificials is bounded
+/// below by zero, so a recession ray can never be a true unbounded
+/// certificate there — any such column is roundoff noise (the reduced-cost
+/// drift grows with the constraint coefficients, ~1e4 on the 300-bus case)
+/// and is dropped instead of aborting the solve.
 LpStatus iterate(Tableau& tab, std::vector<std::size_t>& basis,
-                 const std::vector<bool>& allowed) {
+                 const std::vector<bool>& allowed, bool phase_one = false) {
+  // Dantzig pricing (most negative reduced cost) converges in ~m pivots on
+  // the OPF LPs, but can cycle on degenerate vertices; Bland's rule cannot
+  // cycle but needs an order of magnitude more pivots (the 300-bus OPF
+  // exhausts the iteration budget under pure Bland). Strategy: price with
+  // Dantzig until the objective stalls for kStallLimit consecutive
+  // degenerate pivots, then switch to Bland permanently — this keeps the
+  // finite-termination guarantee while staying fast in practice.
+  constexpr int kStallLimit = 200;
+  bool bland = false;
+  int stalled = 0;
+  double last_objective = tab.cost_rhs();
   for (std::size_t iter = 0; iter < kMaxIterations; ++iter) {
-    // Bland's rule: smallest-index column with a negative reduced cost.
     std::size_t entering = tab.cols();
-    for (std::size_t c = 0; c < tab.cols(); ++c) {
-      if (allowed[c] && tab.cost(c) < -kPivotTol) {
-        entering = c;
-        break;
+    if (bland) {
+      // Bland's rule: smallest-index column with a negative reduced cost.
+      for (std::size_t c = 0; c < tab.cols(); ++c) {
+        if (allowed[c] && tab.cost(c) < -kPivotTol) {
+          entering = c;
+          break;
+        }
+      }
+    } else {
+      double best = -kPivotTol;
+      for (std::size_t c = 0; c < tab.cols(); ++c) {
+        if (allowed[c] && tab.cost(c) < best) {
+          best = tab.cost(c);
+          entering = c;
+        }
       }
     }
     if (entering == tab.cols()) return LpStatus::kOptimal;
 
-    // Ratio test; Bland tie-break on the leaving basis variable index.
+    // Ratio test, two passes. Pass 1 finds the true minimum ratio over
+    // every eligible row. Pass 2 re-picks the leaving row among the
+    // near-tied minimum-ratio rows: the one with the LARGEST pivot
+    // element (Harris-style) — a pivot near the eligibility floor means a
+    // ~1/kPivotTol error amplification in the Gauss-Jordan update, and a
+    // handful of those corrupts the tableau until it silently stops
+    // representing the original constraints (observed as megawatt-scale
+    // balance violations on the 300-bus OPF). In Bland mode the tie-break
+    // is the smallest basis index instead, preserving anti-cycling.
+    // The rhs is clamped at zero in the ratios: a roundoff-negative rhs
+    // over a small positive entry would otherwise produce a large
+    // NEGATIVE ratio, making the entering variable "advance" backwards —
+    // a genuine feasibility violation that then snowballs (this, plus the
+    // small-pivot amplification above, was how the 118/300-bus OPFs
+    // returned megawatt-infeasible "optimal" points).
+    // Eligibility is RELATIVE to the column's magnitude: a column whose
+    // only positive entries are roundoff-scale (vs. its largest entry) is
+    // numerically a recession ray, and pivoting on such an entry advances
+    // the entering variable by rhs/noise — observed as a single pivot with
+    // ratio ~6e10 that knocked the 118-bus OPF megawatts off its own
+    // equality constraints while the tableau still looked consistent.
+    double column_max = 0.0;
+    for (std::size_t r = 0; r < tab.rows(); ++r)
+      column_max = std::max(column_max, std::abs(tab.at(r, entering)));
+    const double eligible = std::max(kPivotTol, kRelPivotTol * column_max);
     std::size_t leaving = tab.rows();
     double best_ratio = 0.0;
     for (std::size_t r = 0; r < tab.rows(); ++r) {
       const double a = tab.at(r, entering);
-      if (a <= kPivotTol) continue;
-      const double ratio = tab.rhs(r) / a;
-      if (leaving == tab.rows() || ratio < best_ratio - kPivotTol ||
-          (std::abs(ratio - best_ratio) <= kPivotTol &&
-           basis[r] < basis[leaving])) {
+      if (a <= eligible) continue;
+      const double ratio = std::max(tab.rhs(r), 0.0) / a;
+      if (leaving == tab.rows() || ratio < best_ratio) {
         leaving = r;
         best_ratio = ratio;
+      }
+    }
+    if (leaving != tab.rows()) {
+      const double ratio_tol = kPivotTol * (1.0 + best_ratio);
+      for (std::size_t r = 0; r < tab.rows(); ++r) {
+        const double a = tab.at(r, entering);
+        if (r == leaving || a <= eligible) continue;
+        if (std::max(tab.rhs(r), 0.0) / a > best_ratio + ratio_tol) continue;
+        if (bland ? basis[r] < basis[leaving]
+                  : a > tab.at(leaving, entering)) {
+          leaving = r;
+        }
       }
     }
     if (leaving == tab.rows()) {
       // No ratio-test row: a ray. Only a decisively negative reduced cost
       // makes it an unbounded certificate; a roundoff-level one cannot
       // improve the objective — drop the column and keep iterating.
-      if (tab.cost(entering) >= -kNoiseCostTol) {
+      if (phase_one || tab.cost(entering) >= -kNoiseCostTol) {
         tab.cost(entering) = 0.0;
         continue;
       }
@@ -120,6 +183,14 @@ LpStatus iterate(Tableau& tab, std::vector<std::size_t>& basis,
 
     tab.pivot(leaving, entering);
     basis[leaving] = entering;
+
+    if (!bland) {
+      const double objective = tab.cost_rhs();
+      const double tol = 1e-12 * (1.0 + std::abs(last_objective));
+      stalled = std::abs(objective - last_objective) <= tol ? stalled + 1 : 0;
+      last_objective = objective;
+      if (stalled >= kStallLimit) bland = true;  // break potential cycles
+    }
   }
   return LpStatus::kIterationLimit;
 }
@@ -233,7 +304,31 @@ LpSolution solve_linear_program(const LinearProgram& lp) {
     }
   }
 
-  // ---- 3. Normalize to b >= 0 and install artificial basis.
+  // ---- 3. Row equilibration: divide every constraint row (and its rhs)
+  // by its largest structural coefficient, leaving the slack coefficient
+  // at 1 (that just rescales the nonnegative slack variable, an
+  // equivalent LP, and keeps the slack columns unit vectors for the crash
+  // basis below). The OPF rows mix susceptance entries (~1e4 on stiff
+  // branches) with unit generator entries; without scaling, a few
+  // thousand dense Gauss-Jordan pivots on such a tableau lose enough
+  // precision to return "optimal" points that violate the balance
+  // equations by megawatts (first seen at 300-bus scale).
+  for (std::size_t r = 0; r < m_total; ++r) {
+    double scale = 0.0;
+    for (std::size_t c = 0; c < num_std; ++c)
+      scale = std::max(scale, std::abs(tab.at(r, c)));
+    if (scale > 0.0 && scale != 1.0) {
+      const double inv = 1.0 / scale;
+      for (std::size_t c = 0; c < num_std; ++c) tab.at(r, c) *= inv;
+      row_rhs[r] *= inv;
+    }
+  }
+
+  // ---- 3b. Normalize to b >= 0 and install the starting basis: a crash
+  // basis of slacks wherever an inequality row kept its +1 slack after
+  // sign normalization, artificials only for the remaining rows (the
+  // equalities, typically). Starting from all-artificial instead makes
+  // phase 1 do ~m needless pivots — prohibitive at 300-bus scale.
   std::vector<std::size_t> basis(m_total);
   for (std::size_t r = 0; r < m_total; ++r) {
     if (row_rhs[r] < 0.0) {
@@ -241,32 +336,41 @@ LpSolution solve_linear_program(const LinearProgram& lp) {
       row_rhs[r] = -row_rhs[r];
     }
     tab.rhs(r) = row_rhs[r];
-    tab.at(r, artificial_base + r) = 1.0;
-    basis[r] = artificial_base + r;
+    const std::size_t slack_col =
+        r >= m_eq ? num_std + (r - m_eq) : num_cols;
+    if (slack_col < num_cols && tab.at(r, slack_col) == 1.0) {
+      basis[r] = slack_col;
+    } else {
+      tab.at(r, artificial_base + r) = 1.0;
+      basis[r] = artificial_base + r;
+    }
   }
 
   // ---- 4. Phase 1: minimize the sum of artificials.
-  // Reduced cost row: for each artificial cost 1, subtract its (basic) row.
+  // Reduced cost row: for each basic artificial (cost 1), subtract its
+  // row; slack-basic rows contribute nothing. Artificial columns are
+  // never allowed to (re-)enter the basis.
   for (std::size_t c = 0; c <= num_cols; ++c) tab.cost(c) = 0.0;
-  for (std::size_t c = 0; c < num_cols; ++c) {
-    if (c >= artificial_base) continue;
-    double acc = 0.0;
-    for (std::size_t r = 0; r < m_total; ++r) acc += tab.at(r, c);
-    tab.cost(c) = -acc;
-  }
-  {
-    double acc = 0.0;
-    for (std::size_t r = 0; r < m_total; ++r) acc += tab.rhs(r);
-    tab.cost_rhs() = -acc;
+  for (std::size_t r = 0; r < m_total; ++r) {
+    if (basis[r] < artificial_base) continue;
+    for (std::size_t c = 0; c < artificial_base; ++c)
+      tab.cost(c) -= tab.at(r, c);
+    tab.cost_rhs() -= tab.rhs(r);
   }
 
   std::vector<bool> allowed(num_cols, true);
-  LpStatus status = iterate(tab, basis, allowed);
+  for (std::size_t c = artificial_base; c < num_cols; ++c) allowed[c] = false;
+  // The initial phase-1 objective (sum of all |rhs|) sets the problem's
+  // magnitude; the infeasibility verdict must be relative to it, or pure
+  // roundoff fails well-scaled large cases (first seen at 300 buses,
+  // where the residual after ~1e3 pivots is ~1e-6 absolute).
+  const double phase1_scale = std::max(1.0, -tab.cost_rhs());
+  LpStatus status = iterate(tab, basis, allowed, /*phase_one=*/true);
   if (status != LpStatus::kOptimal) {
     return {status == LpStatus::kUnbounded ? LpStatus::kInfeasible : status,
             {}, 0.0};
   }
-  if (-tab.cost_rhs() > kFeasibilityTol) {
+  if (-tab.cost_rhs() > kFeasibilityTol * phase1_scale) {
     return {LpStatus::kInfeasible, {}, 0.0};
   }
 

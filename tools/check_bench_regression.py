@@ -12,6 +12,8 @@ Subcommands:
          [--normalize-by NAME] [--min-speedup SLOW:FAST:RATIO ...]
       Fails (exit 1) when any benchmark present in the baseline is missing
       from the current run, or is slower than baseline * (1 + max-regression).
+      Benchmarks present in the run but not in the baseline are reported as
+      "new (informational)" and never fail the check.
       With --normalize-by, every time is divided by the named benchmark's
       time from the same file first — this compares machine-independent
       ratios, which is what CI uses (absolute wall times differ across
@@ -108,6 +110,17 @@ def cmd_check(args):
                 f"(>{100 * args.max_regression:.0f}% regression)")
         print(f"{name:<44} {base_n[name]:>12.4g} {cur_n[name]:>12.4g}  "
               f"{verdict}")
+
+    # Benchmarks present in the run but absent from the baseline are new —
+    # report them informationally instead of erroring, so adding a
+    # benchmark doesn't require touching the baseline in the same commit.
+    for name in sorted(cur_n):
+        if name in base_n:
+            continue
+        if args.normalize_by and name == args.normalize_by:
+            continue
+        print(f"{name:<44} {'--':>12} {cur_n[name]:>12.4g}  new "
+              f"(informational)")
 
     for spec in args.min_speedup or []:
         try:

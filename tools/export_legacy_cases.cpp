@@ -1,0 +1,41 @@
+// Regenerates data/case14.m and data/case57.m from the frozen hand-coded
+// tables in src/grid/cases.cpp. The loader round-trip tests assert that
+// loading these files reproduces the legacy tables to machine precision,
+// so after any (deliberate) change to the legacy factories re-run:
+//
+//   ./build/export_legacy_cases data
+//
+// and commit the refreshed files.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "grid/cases.hpp"
+#include "io/matpower.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+    return 2;
+  }
+  const std::string dir = argv[1];
+  const struct {
+    const char* file;
+    mtdgrid::grid::PowerSystem (*factory)();
+  } kCases[] = {
+      {"case14.m", &mtdgrid::grid::make_case_ieee14},
+      {"case57.m", &mtdgrid::grid::make_case57_legacy},
+  };
+  for (const auto& c : kCases) {
+    const std::string path = dir + "/" + c.file;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << mtdgrid::io::write_matpower(c.factory());
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Deterministically generates data/case300.m.
+
+The bundled case300 is a *synthetic* 300-bus scenario with IEEE-300-like
+aggregate statistics (300 buses, 411 branches, 69 generators, 23525.85 MW
+of load): the verified IEEE 300-bus tables are not redistributable from
+this offline build environment, and the scale tests only need a connected,
+OPF-feasible network of that size. The file header repeats this provenance
+note. If you have MATPOWER's case300.m at hand, dropping it into data/
+(after moving the type-3 bus first and adding an mpc.dfacts matrix) is a
+drop-in upgrade — the loader handles the full caseformat.
+
+Topology: three 100-bus regions, each a 20-bus meshed transmission core
+(ring + chords) serving 80 load buses on looped radial spurs; six
+inter-region ties. Loads are log-normally sized and scaled to the exact
+total; 23 merit-order generators per region sit on core buses.
+
+Usage:
+  tools/gen_case300.py > data/case300.m                 # RATE_A = 0 draft
+  ./build/case_audit --suggest-limits data/case300.m > limits.txt
+  tools/gen_case300.py --limits limits.txt > data/case300.m   # final
+
+The two-step flow mirrors how case118's RATE_A was sized: limits are
+1.25x the worst D-FACTS-envelope flow (case_audit), with a further 1.2x
+cushion and nice rounding applied here.
+"""
+
+import math
+import random
+import sys
+
+NUM_REGIONS = 3
+CORE = 20          # meshed transmission buses per region
+LEAVES = 80        # load buses per region
+CHORDS = 10        # extra core-core lines per region
+LOOPS = 25         # loop-closing lines among leaves per region
+TIES = 6           # inter-region lines
+TOTAL_LOAD_MW = 23525.85
+GENS_PER_REGION = 23
+BASE_MVA = 100.0
+
+
+def nice(mw):
+    step = 10.0 if mw < 100 else (50.0 if mw < 1000 else 100.0)
+    return step * math.ceil(mw / step)
+
+
+def main():
+    limits_path = None
+    args = sys.argv[1:]
+    if args[:1] == ["--limits"]:
+        if len(args) < 2:
+            print("--limits needs a file argument\n", file=sys.stderr)
+            print(__doc__, file=sys.stderr)
+            return 2
+        limits_path = args[1]
+        args = args[2:]
+    if args:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    rng = random.Random(300300)
+
+    # --- buses -----------------------------------------------------------
+    # Region r occupies buses r*100+1 .. r*100+100 (1-based); the first
+    # CORE of each block are transmission buses, the rest are leaves.
+    loads = [0.0] * 301  # 1-based
+    raw = {}
+    for r in range(NUM_REGIONS):
+        base = r * 100
+        for i in range(CORE + 1, 101):
+            raw[base + i] = math.exp(rng.gauss(3.3, 0.8))
+    scale = TOTAL_LOAD_MW / sum(raw.values())
+    for b, v in raw.items():
+        loads[b] = round(v * scale, 2)
+    # Fix rounding drift on one bus so the total is exact.
+    drift = round(TOTAL_LOAD_MW - sum(loads), 2)
+    loads[100] = round(loads[100] + drift, 2)
+
+    # --- branches --------------------------------------------------------
+    branches = []  # (from, to, x)
+
+    def add(f, t, x):
+        branches.append((f, t, round(x, 5)))
+
+    for r in range(NUM_REGIONS):
+        base = r * 100
+        core = [base + i for i in range(1, CORE + 1)]
+        # Ring.
+        for i in range(CORE):
+            add(core[i], core[(i + 1) % CORE], rng.uniform(0.010, 0.040))
+        # Chords across the ring.
+        for _ in range(CHORDS):
+            i = rng.randrange(CORE)
+            j = (i + rng.randrange(3, CORE - 3)) % CORE
+            add(core[min(i, j)], core[max(i, j)],
+                rng.uniform(0.015, 0.060))
+        # Leaves: each hangs off a core bus or an already-attached leaf.
+        attached = []
+        for i in range(CORE + 1, 101):
+            leaf = base + i
+            if attached and rng.random() < 0.35:
+                parent = rng.choice(attached)
+            else:
+                parent = rng.choice(core)
+            add(parent, leaf, rng.uniform(0.05, 0.35))
+            attached.append(leaf)
+        # Loop closers among leaves.
+        for _ in range(LOOPS):
+            a, b = rng.sample(attached, 2)
+            add(min(a, b), max(a, b), rng.uniform(0.08, 0.40))
+
+    # Inter-region ties between core buses (heavy corridors).
+    tie_pairs = [(1, 101), (11, 111), (101, 201), (111, 211), (201, 1),
+                 (211, 11)]
+    for f, t in tie_pairs[:TIES]:
+        add(f, t, rng.uniform(0.008, 0.020))
+
+    assert len(branches) == NUM_REGIONS * (CORE + CHORDS + LEAVES + LOOPS) \
+        + TIES == 411, len(branches)
+
+    # --- generators ------------------------------------------------------
+    # 23 units per region on distinct core buses; capacities cover the
+    # regional load with 1.4x headroom, merit-order linear costs.
+    gens = []  # (bus, pmax, cost)
+    for r in range(NUM_REGIONS):
+        base = r * 100
+        region_load = sum(loads[base + i] for i in range(1, 101))
+        weights = [rng.uniform(0.3, 3.0) for _ in range(GENS_PER_REGION)]
+        wsum = sum(weights)
+        buses = rng.sample([base + i for i in range(1, CORE + 1)],
+                           GENS_PER_REGION - 3)
+        buses += rng.sample([base + i for i in range(CORE + 1, 101)], 3)
+        for g in range(GENS_PER_REGION):
+            pmax = round(1.4 * region_load * weights[g] / wsum, 1)
+            cost = round(rng.uniform(18.0, 45.0), 1)
+            gens.append((buses[g], max(pmax, 20.0), cost))
+    assert len(gens) == 69
+
+    # --- D-FACTS ---------------------------------------------------------
+    # Ring openers in each core plus the ties: 15 devices, eta = 0.5.
+    dfacts = []
+    for r in range(NUM_REGIONS):
+        ring_start = r * (CORE + CHORDS + LEAVES + LOOPS)
+        dfacts += [ring_start + 1, ring_start + 5, ring_start + 11]
+    ties_start = NUM_REGIONS * (CORE + CHORDS + LEAVES + LOOPS)
+    dfacts += [ties_start + i for i in range(1, TIES + 1)]
+
+    # --- limits ----------------------------------------------------------
+    rate_a = [0.0] * len(branches)
+    if limits_path:
+        for lineno, line in enumerate(open(limits_path), 1):
+            if line.startswith("%") or not line.strip():
+                continue
+            try:
+                idx_s, lim_s = line.split()
+                idx, lim = int(idx_s), float(lim_s)
+            except ValueError:
+                sys.exit(f"{limits_path}:{lineno}: expected "
+                         f"'<branch> <limit>', got {line!r}")
+            if not 1 <= idx <= len(branches):
+                sys.exit(f"{limits_path}:{lineno}: branch index {idx} "
+                         f"out of range 1..{len(branches)}")
+            rate_a[idx - 1] = nice(lim * 1.2)
+
+    # --- emit ------------------------------------------------------------
+    out = sys.stdout
+    out.write("function mpc = case300\n")
+    out.write(
+        "% 300-bus large-scale scenario for the mtdgrid DC MTD pipeline.\n"
+        "%\n"
+        "% PROVENANCE: this is a SYNTHETIC network with IEEE-300-like\n"
+        "% aggregate statistics (300 buses, 411 branches, 69 generators,\n"
+        "% 23525.85 MW load), generated deterministically by\n"
+        "% tools/gen_case300.py (seed 300300) because the verified IEEE\n"
+        "% 300-bus tables are not redistributable from this build\n"
+        "% environment. Swap in MATPOWER's case300.m for the real\n"
+        "% topology; the loader accepts the full caseformat.\n"
+        "%\n"
+        "% Structure: 3 regions x (20-bus meshed core + 80 leaf buses on\n"
+        "% looped spurs), 6 inter-region ties, 15 D-FACTS devices.\n"
+        "% RATE_A sized via case_audit --suggest-limits (see the script\n"
+        "% header for the exact two-step flow).\n")
+    out.write("mpc.version = '2';\n\n")
+    out.write("mpc.baseMVA = %g;\n\n" % BASE_MVA)
+
+    out.write("%% bus data: bus_i type Pd Qd Gs Bs area Vm Va baseKV "
+              "zone Vmax Vmin\n")
+    out.write("mpc.bus = [\n")
+    gen_buses = {g[0] for g in gens}
+    for b in range(1, 301):
+        btype = 3 if b == 1 else (2 if b in gen_buses else 1)
+        out.write("\t%d\t%d\t%g\t0\t0\t0\t1\t1\t0\t0\t1\t1.06\t0.94;\n"
+                  % (b, btype, loads[b]))
+    out.write("];\n\n")
+
+    out.write("%% generator data: bus Pg Qg Qmax Qmin Vg mBase status "
+              "Pmax Pmin\n")
+    out.write("mpc.gen = [\n")
+    for bus, pmax, _ in gens:
+        out.write("\t%d\t0\t0\t0\t0\t1\t%g\t1\t%g\t0;\n"
+                  % (bus, BASE_MVA, pmax))
+    out.write("];\n\n")
+
+    out.write("%% generator cost data: model startup shutdown n c1 c0\n")
+    out.write("mpc.gencost = [\n")
+    for _, _, cost in gens:
+        out.write("\t2\t0\t0\t2\t%g\t0;\n" % cost)
+    out.write("];\n\n")
+
+    out.write("%% branch data: fbus tbus r x b rateA rateB rateC ratio "
+              "angle status\n")
+    out.write("mpc.branch = [\n")
+    for (f, t, x), ra in zip(branches, rate_a):
+        out.write("\t%d\t%d\t0\t%g\t0\t%g\t0\t0\t0\t0\t1;\n"
+                  % (f, t, x, ra))
+    out.write("];\n\n")
+
+    out.write("%% mtdgrid extension: D-FACTS devices, [branch_row "
+              "eta_max]\n")
+    out.write("mpc.dfacts = [\n")
+    for idx in dfacts:
+        out.write("\t%d\t0.5;\n" % idx)
+    out.write("];\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,9 +15,11 @@
 #include <optional>
 
 #include "bench_util.hpp"
+#include "core/thread_pool.hpp"
 #include "grid/cases.hpp"
 #include "grid/measurement.hpp"
 #include "grid/power_flow.hpp"
+#include "io/case_registry.hpp"
 #include "mtd/effectiveness.hpp"
 #include "mtd/selection.hpp"
 #include "mtd/spa.hpp"
@@ -214,6 +216,45 @@ void BM_EffectivenessBatched(benchmark::State& state) {
                           static_cast<int>(candidates.size()));
 }
 BENCHMARK(BM_EffectivenessBatched)->Arg(100)->Arg(500);
+
+// Thread-scaling sweep on the Case118 effectiveness evaluation (the
+// gating cost of the large-case keyspace audits): same seed at every
+// thread count, so this doubles as a determinism check — the mean
+// detection probability must not move between rows. Wall-clock (real
+// time) is the quantity of interest. The recorded baseline was measured
+// on the 1-core reference VM (see CONTRIBUTING.md for the regeneration
+// workflow); on an 8-core machine the 8-thread row should run >= 4x
+// faster than the 1-thread row.
+void BM_Case118EffectivenessParallel(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  grid::PowerSystem sys = io::load_case("case118");
+  const linalg::Matrix h0 = grid::measurement_matrix(sys);
+  linalg::Vector x = sys.reactances();
+  for (std::size_t l : sys.dfacts_branches()) x[l] *= 1.35;
+  const linalg::Matrix h_mtd = grid::measurement_matrix(sys, x);
+  const opf::DispatchResult d = opf::solve_dc_opf(sys, x);
+  const linalg::Vector z_ref =
+      grid::noiseless_measurements(sys, x, d.theta_reduced);
+  mtd::EffectivenessOptions eff;
+  eff.num_attacks = 300;
+  eff.sigma_mw = 0.1;
+
+  core::ThreadPool::set_global_num_threads(threads);
+  for (auto _ : state) {
+    stats::Rng rng(7);  // fixed seed: every thread count computes the
+                        // same sample, so rows are directly comparable
+    const mtd::EffectivenessResult r =
+        mtd::evaluate_effectiveness(h0, h_mtd, z_ref, eff, rng);
+    benchmark::DoNotOptimize(r.mean_detection);
+  }
+  core::ThreadPool::set_global_num_threads(0);  // restore the default
+}
+BENCHMARK(BM_Case118EffectivenessParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SpaComputation(benchmark::State& state) {
   const grid::PowerSystem sys = grid::make_case14();

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdlib>
+
+#include "core/thread_pool.hpp"
+
+namespace mtdgrid::examples {
+
+/// Validates a `--threads` value and applies it to the global worker pool.
+/// Accepts a positive integer up to 4096; returns false (pool untouched)
+/// on anything else. Shared by every example binary that exposes the flag
+/// so the bound and the apply semantics cannot diverge.
+inline bool apply_threads_arg(const char* arg) {
+  if (arg == nullptr) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(arg, &end, 10);
+  if (errno != 0 || end == arg || *end != '\0' || parsed <= 0 ||
+      parsed > 4096)
+    return false;
+  core::ThreadPool::set_global_num_threads(static_cast<std::size_t>(parsed));
+  return true;
+}
+
+}  // namespace mtdgrid::examples

@@ -7,7 +7,7 @@
 // current measurement matrix, and reports the distribution — then contrasts
 // it with a single SPA-designed perturbation at the same device limits.
 //
-// Usage: keyspace_audit [case-name-or-.m-path] [keyspace_size]
+// Usage: keyspace_audit [--threads N] [case-name-or-.m-path] [keyspace_size]
 
 #include <algorithm>
 #include <cerrno>
@@ -16,7 +16,9 @@
 #include <cstdlib>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "example_util.hpp"
 #include "grid/measurement.hpp"
 #include "io/case_registry.hpp"
 #include "grid/power_flow.hpp"
@@ -34,8 +36,12 @@ int usage(const char* prog) {
   const std::string known =
       mtdgrid::io::CaseRegistry::global().joined_names("|");
   std::fprintf(stderr,
-               "usage: %s [%s|<path>.m] [keyspace_size]\n"
-               "  keyspace_size must be a positive integer (default 200)\n",
+               "usage: %s [--threads N] [%s|<path>.m] [keyspace_size]\n"
+               "  keyspace_size must be a positive integer (default 200)\n"
+               "  --threads N sizes the worker pool of the parallel "
+               "effectiveness sweep\n  (default: MTDGRID_THREADS env var, "
+               "then hardware concurrency);\n  results are bit-identical "
+               "for every N\n",
                prog, known.c_str());
   return 2;
 }
@@ -57,14 +63,28 @@ std::optional<mtdgrid::grid::PowerSystem> system_by_name(
 int main(int argc, char** argv) {
   using namespace mtdgrid;
 
-  if (argc > 3) return usage(argv[0]);
-  const std::string case_name = argc > 1 ? argv[1] : "ieee14";
+  // "--threads N" may appear anywhere in argv (matching scenario_matrix);
+  // the remaining positional arguments keep their original contract.
+  std::vector<std::string> positionals;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--threads") {
+      if (i + 1 >= argc || !examples::apply_threads_arg(argv[i + 1]))
+        return usage(argv[0]);
+      ++i;
+      continue;
+    }
+    positionals.push_back(argv[i]);
+  }
+  if (positionals.size() > 2) return usage(argv[0]);
+  const std::string case_name =
+      !positionals.empty() ? positionals[0] : "ieee14";
   int keyspace_size = 200;
-  if (argc > 2) {
+  if (positionals.size() > 1) {
+    const char* size_arg = positionals[1].c_str();
     char* end = nullptr;
     errno = 0;
-    const long parsed = std::strtol(argv[2], &end, 10);
-    if (errno != 0 || end == argv[2] || *end != '\0' || parsed <= 0 ||
+    const long parsed = std::strtol(size_arg, &end, 10);
+    if (errno != 0 || end == size_arg || *end != '\0' || parsed <= 0 ||
         parsed > 1000000)
       return usage(argv[0]);
     keyspace_size = static_cast<int>(parsed);

@@ -4,16 +4,20 @@
 // This is the table referenced from the README; re-run after adding a
 // case to refresh it.
 //
-// Usage: scenario_matrix [case-or-path ...]
+// Usage: scenario_matrix [--threads N] [case-or-path ...]
 //   With no arguments, prints every case in the registry (case4 through
 //   case300). Arguments may be registry names ("case118") or paths to
 //   MATPOWER .m files; an unknown case exits 2 with a usage message.
+//   --threads N sizes the worker pool used by the parallel hot paths
+//   (default: MTDGRID_THREADS env var, then hardware concurrency); results
+//   are bit-identical for every N.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "example_util.hpp"
 #include "grid/measurement.hpp"
 #include "io/case_registry.hpp"
 #include "linalg/subspace.hpp"
@@ -25,8 +29,9 @@ int usage(const char* prog) {
   const std::string known =
       mtdgrid::io::CaseRegistry::global().joined_names("|");
   std::fprintf(stderr,
-               "usage: %s [case-or-path ...]\n"
-               "  case-or-path: %s, or a MATPOWER .m file\n",
+               "usage: %s [--threads N] [case-or-path ...]\n"
+               "  case-or-path: %s, or a MATPOWER .m file\n"
+               "  --threads N:  worker-pool size (positive integer)\n",
                prog, known.c_str());
   return 2;
 }
@@ -39,6 +44,12 @@ int main(int argc, char** argv) {
   std::vector<std::string> specs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--threads") {
+      if (i + 1 >= argc || !examples::apply_threads_arg(argv[i + 1]))
+        return usage(argv[0]);
+      ++i;
+      continue;
+    }
     if (arg.empty() || arg[0] == '-' ||
         !io::CaseRegistry::global().knows(arg))
       return usage(argv[0]);

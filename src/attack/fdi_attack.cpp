@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
 #include "linalg/subspace.hpp"
 
 namespace mtdgrid::attack {
@@ -42,12 +43,22 @@ std::vector<FdiAttack> sample_attacks(const linalg::Matrix& h,
                                       double relative_magnitude, int count,
                                       stats::Rng& rng) {
   assert(count >= 0);
-  std::vector<FdiAttack> attacks;
-  attacks.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i)
-    attacks.push_back(
-        random_stealthy_attack(h, z_ref, relative_magnitude, rng));
-  return attacks;
+  return sample_attacks_seeded(h, z_ref, relative_magnitude, count,
+                               rng.split());
+}
+
+std::vector<FdiAttack> sample_attacks_seeded(const linalg::Matrix& h,
+                                             const linalg::Vector& z_ref,
+                                             double relative_magnitude,
+                                             int count, std::uint64_t root) {
+  assert(count >= 0);
+  // Each attack owns stream (root, i): the draw is independent of which
+  // worker runs it and of how the other attacks are scheduled.
+  return core::parallel_map<FdiAttack>(
+      static_cast<std::size_t>(count), [&](std::size_t i) {
+        stats::Rng stream = stats::make_stream(root, i);
+        return random_stealthy_attack(h, z_ref, relative_magnitude, stream);
+      });
 }
 
 bool remains_stealthy_under(const linalg::Matrix& h_new, const FdiAttack& atk,

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -29,11 +30,24 @@ FdiAttack random_stealthy_attack(const linalg::Matrix& h,
                                  const linalg::Vector& z_ref,
                                  double relative_magnitude, stats::Rng& rng);
 
-/// Draws `count` independent random stealthy attacks.
+/// Draws `count` independent random stealthy attacks. Attack i is produced
+/// from its own counter-based stream `stats::make_stream(root, i)` with
+/// `root = rng.split()`, and the draws are spread across the global thread
+/// pool — the sample is a pure function of `(h, z_ref, relative_magnitude,
+/// count, root)`, bit-identical for every thread count, and `rng` advances
+/// by exactly one raw draw regardless of `count`.
 std::vector<FdiAttack> sample_attacks(const linalg::Matrix& h,
                                       const linalg::Vector& z_ref,
                                       double relative_magnitude, int count,
                                       stats::Rng& rng);
+
+/// The seed-explicit core of `sample_attacks`: attack i is drawn from
+/// `stats::make_stream(root, i)`. Exposed so batched evaluators can share
+/// one attack sample across candidates by passing the same `root`.
+std::vector<FdiAttack> sample_attacks_seeded(const linalg::Matrix& h,
+                                             const linalg::Vector& z_ref,
+                                             double relative_magnitude,
+                                             int count, std::uint64_t root);
 
 /// Proposition 1 stealth test: the attack stays undetectable under the new
 /// measurement matrix `h_new` iff a lies in Col(h_new), i.e.

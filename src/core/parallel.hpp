@@ -1,0 +1,141 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+
+namespace mtdgrid::core {
+
+/// Runs `fn(i)` for every i in [0, count). Indices are handed out through a
+/// shared atomic cursor so uneven task costs balance across workers; `fn`
+/// must therefore not depend on execution order, and must be safe to call
+/// concurrently for distinct indices. Runs inline (plain loop, ascending
+/// order) when the effective worker count is 1 or the caller is already
+/// inside a parallel region — nested regions serialize rather than
+/// oversubscribe.
+template <typename Fn>
+void parallel_for(std::size_t count, Fn&& fn, ThreadPool* pool = nullptr) {
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::global();
+  const std::size_t workers = std::min(p.num_threads(), count);
+  if (workers <= 1 || ThreadPool::in_parallel_region()) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  p.run(workers, [&](std::size_t) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      fn(i);
+    }
+  });
+}
+
+/// `parallel_for` with per-worker state: each worker evaluates
+/// `make_state()` once and passes the result to every task it claims —
+/// for scratch that is expensive to rebuild per task or unsafe to share
+/// across threads (`mtd::SpaEvaluator`, `opf::DispatchEvaluator`, simplex
+/// workspaces). Determinism rule: `fn(state, i)`'s observable result must
+/// be a function of `i` alone — states built by `make_state()` must be
+/// interchangeable, because which worker's state serves index i depends on
+/// scheduling.
+template <typename MakeState, typename Fn>
+void parallel_for_with_state(std::size_t count, MakeState&& make_state,
+                             Fn&& fn, ThreadPool* pool = nullptr) {
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::global();
+  const std::size_t workers = std::min(p.num_threads(), count);
+  if (workers <= 1 || ThreadPool::in_parallel_region()) {
+    auto state = make_state();
+    for (std::size_t i = 0; i < count; ++i) fn(state, i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  p.run(workers, [&](std::size_t) {
+    auto state = make_state();
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      fn(state, i);
+    }
+  });
+}
+
+/// Caller-owned per-worker state for `parallel_for_with_shared_state`:
+/// size it with `worker_state_slots(pool)`; entries start empty and are
+/// filled lazily, one per worker, on first use.
+template <typename State>
+using WorkerStates = std::vector<std::unique_ptr<State>>;
+
+/// Number of state slots to allocate for a (possibly defaulted) pool.
+inline std::size_t worker_state_slots(ThreadPool* pool = nullptr) {
+  return (pool != nullptr ? *pool : ThreadPool::global()).num_threads();
+}
+
+/// Like `parallel_for_with_state`, but the worker states live in a
+/// caller-owned vector and are built lazily on first use — several
+/// consecutive parallel regions can then share one set of expensive
+/// states (e.g. the selection sweep's evaluator pairs serve both the
+/// corner scoring and the multi-start region). `states` must have at
+/// least `worker_state_slots(pool)` entries. The interchangeability rule
+/// of `parallel_for_with_state` applies unchanged.
+template <typename State, typename MakeState, typename Fn>
+void parallel_for_with_shared_state(std::size_t count,
+                                    WorkerStates<State>& states,
+                                    MakeState&& make_state, Fn&& fn,
+                                    ThreadPool* pool = nullptr) {
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::global();
+  const std::size_t workers = std::min(p.num_threads(), count);
+  const auto state_for = [&](std::size_t slot) -> State& {
+    if (!states[slot]) states[slot] = std::make_unique<State>(make_state());
+    return *states[slot];
+  };
+  if (workers <= 1 || ThreadPool::in_parallel_region()) {
+    State& state = state_for(0);
+    for (std::size_t i = 0; i < count; ++i) fn(state, i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  p.run(workers, [&](std::size_t worker) {
+    State& state = state_for(worker);
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      fn(state, i);
+    }
+  });
+}
+
+/// Evaluates `fn(i) -> T` for every index in parallel and returns the
+/// results ordered by task index. The index-ordered output (not the
+/// execution order) is what downstream reductions fold over, which is the
+/// cornerstone of the library's thread-count-invariance guarantee.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t count, Fn&& fn,
+                            ThreadPool* pool = nullptr) {
+  std::vector<T> out(count);
+  parallel_for(
+      count, [&](std::size_t i) { out[i] = fn(i); }, pool);
+  return out;
+}
+
+/// Ordered parallel reduction: maps every index to a value of type T in
+/// parallel, then folds sequentially in ascending index order,
+/// `acc = fold(acc, value_i, i)`. Because the fold order is fixed, a
+/// non-associative reduction (floating-point sums, first-strictly-better
+/// argmin) produces bit-identical results for every thread count.
+template <typename T, typename Acc, typename MapFn, typename FoldFn>
+Acc parallel_reduce_ordered(std::size_t count, Acc init, MapFn&& map,
+                            FoldFn&& fold, ThreadPool* pool = nullptr) {
+  std::vector<T> values = parallel_map<T>(count, map, pool);
+  Acc acc = std::move(init);
+  for (std::size_t i = 0; i < count; ++i)
+    acc = fold(std::move(acc), std::move(values[i]), i);
+  return acc;
+}
+
+}  // namespace mtdgrid::core

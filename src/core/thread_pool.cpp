@@ -1,0 +1,165 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace mtdgrid::core {
+
+namespace {
+
+/// Guards the global-pool slot; `run` itself is lock-free on this mutex.
+std::mutex& global_pool_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+bool& in_region_flag() {
+  thread_local bool in_region = false;
+  return in_region;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t background = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(background);
+  for (std::size_t i = 0; i < background; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool ThreadPool::in_parallel_region() { return in_region_flag(); }
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    std::size_t workers = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+      workers = job_workers_;
+    }
+    execute(job, workers);
+  }
+}
+
+void ThreadPool::execute(const std::function<void(std::size_t)>* job,
+                         std::size_t workers) {
+  in_region_flag() = true;
+  for (;;) {
+    const std::size_t id = next_worker_.fetch_add(1, std::memory_order_relaxed);
+    if (id >= workers) break;
+    try {
+      (*job)(id);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+  in_region_flag() = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++finished_;
+    if (finished_ == participants_) done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::run(std::size_t workers,
+                     const std::function<void(std::size_t)>& job) {
+  workers = std::min(workers, num_threads());
+  if (workers == 0) return;
+  if (workers == 1 || workers_.empty() || in_parallel_region()) {
+    // Inline (sequential) execution: pool of one, a single-worker job, or
+    // a nested region. Worker ids are handed out in order, matching the
+    // id sequence a one-thread pool would produce.
+    const bool was_in_region = in_region_flag();
+    in_region_flag() = true;
+    try {
+      for (std::size_t id = 0; id < workers; ++id) job(id);
+    } catch (...) {
+      in_region_flag() = was_in_region;
+      throw;
+    }
+    in_region_flag() = was_in_region;
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    job_workers_ = workers;
+    // Every background thread participates in the completion barrier even
+    // when workers < pool size (it wakes, finds no id, reports finished).
+    // This full-pool handshake is what makes generation/cursor reuse safe:
+    // `run` cannot return — and the next region cannot reset
+    // `next_worker_` — while any thread might still touch this one's
+    // state. The idle wakeup costs microseconds per region; regions here
+    // wrap hundreds of attack/start tasks, so correctness wins.
+    participants_ = workers_.size() + 1;
+    finished_ = 0;
+    first_error_ = nullptr;
+    next_worker_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+  execute(&job, workers);
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return finished_ == participants_; });
+    job_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(global_pool_mutex());
+  auto& slot = global_pool_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>(default_num_threads());
+  return *slot;
+}
+
+std::size_t ThreadPool::default_num_threads() {
+  if (const char* env = std::getenv("MTDGRID_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0)
+      return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void ThreadPool::set_global_num_threads(std::size_t n) {
+  if (n == 0) n = default_num_threads();
+  std::lock_guard<std::mutex> lock(global_pool_mutex());
+  auto& slot = global_pool_slot();
+  if (slot && slot->num_threads() == n) return;
+  slot = std::make_unique<ThreadPool>(n);
+}
+
+}  // namespace mtdgrid::core

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mtdgrid::core {
+
+/// Fixed-size worker pool behind every `parallel_*` helper (parallel.hpp).
+///
+/// The pool owns `num_threads() - 1` background threads; the thread that
+/// calls `run` always participates as worker 0's peer, so a pool of size 1
+/// has no background threads and executes everything inline — the
+/// sequential reference behavior the determinism tests compare against.
+///
+/// Threading/seeding contract (DESIGN.md "Threading model & deterministic
+/// seeding"): the pool only decides WHERE tasks run, never WHAT they
+/// compute. All library hot paths derive per-task RNG streams from
+/// `(seed, task_index)` and reduce results in task-index order, so their
+/// output is bit-identical for every pool size.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers total (clamped to >= 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers, including the calling thread.
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Executes `job(worker_id)` once for every worker_id in
+  /// [0, min(workers, num_threads())). The calling thread participates;
+  /// the call blocks until every worker returns. The first exception thrown
+  /// by any worker is rethrown on the calling thread after the barrier.
+  ///
+  /// `run` is not reentrant and not thread-safe: one parallel region at a
+  /// time, launched from one user thread. A nested call (issued from inside
+  /// a job) executes the inner job inline on the calling worker — the
+  /// `parallel_*` helpers rely on this to serialize nested parallelism.
+  void run(std::size_t workers, const std::function<void(std::size_t)>& job);
+
+  /// True while the calling thread is executing a `run` job; used by the
+  /// parallel helpers to detect (and serialize) nested parallel regions.
+  static bool in_parallel_region();
+
+  /// The process-wide pool used by the library hot paths, created on first
+  /// use with `default_num_threads()` workers.
+  static ThreadPool& global();
+
+  /// Resolves the thread-count knob: the MTDGRID_THREADS environment
+  /// variable when set to a positive integer, otherwise
+  /// `std::thread::hardware_concurrency()` (minimum 1).
+  static std::size_t default_num_threads();
+
+  /// Replaces the global pool with one of `n` workers (the `--threads`
+  /// CLI knob; `n == 0` restores `default_num_threads()`). Must not be
+  /// called while a parallel region is running.
+  static void set_global_num_threads(std::size_t n);
+
+ private:
+  void worker_loop();
+  void execute(const std::function<void(std::size_t)>* job,
+               std::size_t workers);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;   // signals a new generation (or stop)
+  std::condition_variable done_cv_;   // signals all participants finished
+  std::uint64_t generation_ = 0;      // bumped once per `run`
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_workers_ = 0;       // worker ids handed out this run
+  std::size_t participants_ = 0;      // threads that must report finished
+  std::size_t finished_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+
+  std::atomic<std::size_t> next_worker_{0};
+};
+
+}  // namespace mtdgrid::core

@@ -1,7 +1,9 @@
 #include "estimation/detection.hpp"
 
+#include <atomic>
 #include <cassert>
 
+#include "core/parallel.hpp"
 #include "stats/distributions.hpp"
 
 namespace mtdgrid::estimation {
@@ -22,21 +24,35 @@ double monte_carlo_detection_probability(const StateEstimator& estimator,
                                          const linalg::Vector& z_base,
                                          const linalg::Vector& attack,
                                          int trials, stats::Rng& rng) {
+  return monte_carlo_detection_probability_seeded(estimator, bdd, z_base,
+                                                  attack, trials, rng.split());
+}
+
+double monte_carlo_detection_probability_seeded(
+    const StateEstimator& estimator, const BadDataDetector& bdd,
+    const linalg::Vector& z_base, const linalg::Vector& attack, int trials,
+    std::uint64_t root) {
   assert(attack.size() == estimator.num_measurements());
   assert(z_base.size() == estimator.num_measurements());
   assert(trials > 0);
 
   const std::size_t m = estimator.num_measurements();
-  int alarms = 0;
-  linalg::Vector z(m);
-  for (int t = 0; t < trials; ++t) {
-    for (std::size_t i = 0; i < m; ++i) {
-      z[i] = z_base[i] + attack[i] +
-             rng.gaussian(0.0, estimator.sigmas()[i]);
-    }
-    if (bdd.alarm(estimator.normalized_residual_norm(z))) ++alarms;
-  }
-  return static_cast<double>(alarms) / static_cast<double>(trials);
+  // Trials partition freely across workers: trial t's noise comes from its
+  // own stream (root, t), and the alarm tally is an integer sum, which is
+  // order-independent — the count is the same for any schedule.
+  std::atomic<int> alarms{0};
+  core::parallel_for_with_state(
+      static_cast<std::size_t>(trials), [&] { return linalg::Vector(m); },
+      [&](linalg::Vector& z, std::size_t t) {
+        stats::Rng noise = stats::make_stream(root, t);
+        for (std::size_t i = 0; i < m; ++i) {
+          z[i] = z_base[i] + attack[i] +
+                 noise.gaussian(0.0, estimator.sigmas()[i]);
+        }
+        if (bdd.alarm(estimator.normalized_residual_norm(z)))
+          alarms.fetch_add(1, std::memory_order_relaxed);
+      });
+  return static_cast<double>(alarms.load()) / static_cast<double>(trials);
 }
 
 }  // namespace mtdgrid::estimation

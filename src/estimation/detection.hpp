@@ -20,10 +20,24 @@ double analytic_detection_probability(const StateEstimator& estimator,
 /// noise realizations, forms z = z_base + a + n, and counts BDD alarms.
 /// `z_base` is the attack-free noiseless measurement (any vector in the
 /// column space of H works; the residual is invariant to it).
+///
+/// Trial t draws its noise from the counter-based stream
+/// `stats::make_stream(root, t)` with `root = rng.split()`, and the trial
+/// batch is spread across the global thread pool; the alarm fraction is an
+/// integer count, so the result is bit-identical for every thread count
+/// and `rng` advances by exactly one raw draw.
 double monte_carlo_detection_probability(const StateEstimator& estimator,
                                          const BadDataDetector& bdd,
                                          const linalg::Vector& z_base,
                                          const linalg::Vector& attack,
                                          int trials, stats::Rng& rng);
+
+/// Seed-explicit core of `monte_carlo_detection_probability` (trial t uses
+/// stream `(root, t)`); exposed so batched evaluators can pair noise draws
+/// across candidates by passing the same `root`.
+double monte_carlo_detection_probability_seeded(
+    const StateEstimator& estimator, const BadDataDetector& bdd,
+    const linalg::Vector& z_base, const linalg::Vector& attack, int trials,
+    std::uint64_t root);
 
 }  // namespace mtdgrid::estimation

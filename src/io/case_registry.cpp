@@ -68,6 +68,20 @@ std::string CaseRegistry::joined_names(const std::string& sep) const {
   return out;
 }
 
+std::string CaseRegistry::joined_names_with_aliases(
+    const std::string& sep) const {
+  std::string out;
+  for (const CaseEntry& e : entries_) {
+    out += (out.empty() ? "" : sep) + e.name;
+    if (e.aliases.empty()) continue;
+    out += " (";
+    for (std::size_t i = 0; i < e.aliases.size(); ++i)
+      out += (i == 0 ? "" : ", ") + e.aliases[i];
+    out += ")";
+  }
+  return out;
+}
+
 std::string CaseRegistry::data_dir() const {
   if (const char* env = std::getenv("MTDGRID_DATA_DIR"))
     if (*env != '\0') return env;
@@ -105,7 +119,8 @@ grid::PowerSystem CaseRegistry::load(const std::string& name_or_path) const {
     return load_file(data_dir() + "/" + e.file);
   }
   throw CaseIoError("unknown case '" + name_or_path + "' (known: " +
-                    joined_names(", ") + ", or a path to a .m file)");
+                    joined_names_with_aliases(", ") +
+                    ", or a path to a .m file)");
 }
 
 grid::PowerSystem load_case(const std::string& name_or_path) {

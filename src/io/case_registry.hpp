@@ -46,6 +46,12 @@ class CaseRegistry {
   /// strings and error messages.
   std::string joined_names(const std::string& sep) const;
 
+  /// Canonical names with their aliases in parentheses, joined with `sep`:
+  /// "case4 (case4gs), wscc9 (case9), ...". Used by the unknown-case
+  /// diagnostic so a near-miss (e.g. "ieee-118") shows every accepted
+  /// spelling.
+  std::string joined_names_with_aliases(const std::string& sep) const;
+
   /// True when `name_or_path` resolves to an entry or names a `.m` file.
   bool knows(const std::string& name_or_path) const;
 

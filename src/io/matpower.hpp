@@ -26,7 +26,7 @@ namespace mtdgrid::io {
 struct MatpowerMatrix {
   std::string name;                      ///< field name after `mpc.`
   int open_line = 0;                     ///< line of `mpc.<name> = [`
-  std::vector<std::vector<double>> rows;
+  std::vector<std::vector<double>> rows;  ///< numeric rows, file order
   std::vector<int> row_lines;            ///< source line of each row
 };
 
@@ -34,9 +34,9 @@ struct MatpowerMatrix {
 struct MatpowerCase {
   std::string name;        ///< from `function mpc = <name>` ("" if absent)
   double base_mva = 0.0;   ///< MVA base; valid only when `has_base_mva`
-  bool has_base_mva = false;
-  int base_mva_line = 0;
-  std::vector<MatpowerMatrix> matrices;
+  bool has_base_mva = false;              ///< `mpc.baseMVA` was present
+  int base_mva_line = 0;                  ///< source line of `mpc.baseMVA`
+  std::vector<MatpowerMatrix> matrices;   ///< every `mpc.<name> = [...]`
 
   /// The matrix named `field`, or nullptr when the file does not have it.
   const MatpowerMatrix* find(std::string_view field) const;
@@ -45,8 +45,8 @@ struct MatpowerCase {
 /// A parse/validation diagnostic: 1-based source line plus message. Line 0
 /// means the problem is not tied to a specific line (e.g. a missing field).
 struct ParseError {
-  int line = 0;
-  std::string message;
+  int line = 0;          ///< 1-based source line (0: not line-specific)
+  std::string message;   ///< human-readable description
 
   /// "line N: message" (or just the message when line == 0).
   std::string to_string() const;

@@ -14,21 +14,21 @@ namespace mtdgrid::mtd {
 struct DailySimulationOptions {
   /// Target effectiveness: tune gamma_th per hour until
   /// eta'(target_delta) >= target_eta (paper uses delta=0.9, eta=0.9).
-  double target_delta = 0.9;
-  double target_eta = 0.9;
+  double target_delta = 0.9;  ///< delta at which eta' is evaluated
+  double target_eta = 0.9;    ///< required eta'(target_delta)
   /// Candidate gamma_th grid searched in ascending order. Capped at 0.30
   /// rad: the achievable SPA ceiling varies by hour with the no-MTD
   /// operating point (cf. Fig. 11) and hovers around 0.25-0.32 for the
   /// IEEE 14-bus D-FACTS deployment.
   std::vector<double> gamma_grid = {0.05, 0.10, 0.15, 0.20, 0.25, 0.30};
-  EffectivenessOptions effectiveness;
-  MtdSelectionOptions selection;
+  EffectivenessOptions effectiveness;  ///< per-hour evaluation settings
+  MtdSelectionOptions selection;       ///< per-hour problem-(4) settings
 };
 
 /// One hour of the day-long simulation.
 struct HourlyRecord {
-  std::size_t hour = 0;
-  double total_load_mw = 0.0;
+  std::size_t hour = 0;           ///< hour index into the load trace
+  double total_load_mw = 0.0;     ///< system load this hour (MW)
   double base_opf_cost = 0.0;     ///< C_OPF,t' (no MTD)
   double mtd_opf_cost = 0.0;      ///< C'_OPF,t' (with MTD)
   double cost_increase_pct = 0.0; ///< 100 * C_MTD (paper eq. (3))
@@ -37,7 +37,7 @@ struct HourlyRecord {
   double gamma_ht_hmtd = 0.0;     ///< gamma(H_t, H'_t')  (attacker view)
   double gamma_htp_hmtd = 0.0;    ///< gamma(H_t', H'_t') (cost driver)
   double eta_at_target = 0.0;     ///< achieved eta'(target_delta)
-  bool feasible = false;
+  bool feasible = false;          ///< selection met gamma_th and the OPF
 };
 
 /// Runs the paper's dynamic-load experiment: for each hour of `trace`,

@@ -1,9 +1,11 @@
 #include "mtd/effectiveness.hpp"
 
 #include <cassert>
+#include <cstdint>
 #include <stdexcept>
 
 #include "attack/fdi_attack.hpp"
+#include "core/parallel.hpp"
 #include "estimation/bdd.hpp"
 #include "estimation/detection.hpp"
 #include "estimation/state_estimator.hpp"
@@ -13,32 +15,37 @@ namespace mtdgrid::mtd {
 namespace {
 
 /// Scores one candidate matrix against an already drawn attack sample.
+/// Attack i's Monte-Carlo noise (when used) comes from the substream family
+/// `stats::stream_seed(noise_root, i)` — a pure function of (noise_root, i)
+/// — and per-attack probabilities are reduced in attack order, so the
+/// result is bit-identical for every thread count.
 EffectivenessResult score_candidate(const std::vector<attack::FdiAttack>& attacks,
                                     const linalg::Matrix& h_actual,
                                     const linalg::Vector& z_ref,
                                     const EffectivenessOptions& options,
-                                    stats::Rng& rng) {
+                                    std::uint64_t noise_root) {
   const estimation::StateEstimator estimator(h_actual, options.sigma_mw);
   const estimation::BadDataDetector bdd(estimator, options.fp_rate);
 
   EffectivenessResult result;
-  result.detection_probabilities.reserve(attacks.size());
+  result.detection_probabilities = core::parallel_map<double>(
+      attacks.size(), [&](std::size_t i) {
+        switch (options.method) {
+          case DetectionMethod::kMonteCarlo:
+            return estimation::monte_carlo_detection_probability_seeded(
+                estimator, bdd, z_ref, attacks[i].a, options.noise_trials,
+                stats::stream_seed(noise_root, i));
+          case DetectionMethod::kAnalytic:
+            break;
+        }
+        return estimation::analytic_detection_probability(estimator, bdd,
+                                                          attacks[i].a);
+      });
+
+  // Ordered fold: the mean is the same left-to-right sum the sequential
+  // run produces, whatever the scheduling above did.
   double sum = 0.0;
-  for (const attack::FdiAttack& atk : attacks) {
-    double pd = 0.0;
-    switch (options.method) {
-      case DetectionMethod::kAnalytic:
-        pd = estimation::analytic_detection_probability(estimator, bdd,
-                                                        atk.a);
-        break;
-      case DetectionMethod::kMonteCarlo:
-        pd = estimation::monte_carlo_detection_probability(
-            estimator, bdd, z_ref, atk.a, options.noise_trials, rng);
-        break;
-    }
-    result.detection_probabilities.push_back(pd);
-    sum += pd;
-  }
+  for (double pd : result.detection_probabilities) sum += pd;
   result.mean_detection = sum / static_cast<double>(attacks.size());
 
   result.eta.reserve(options.deltas.size());
@@ -64,10 +71,14 @@ EffectivenessResult evaluate_effectiveness(const linalg::Matrix& h_attacker,
         "effectiveness: measurement dimensions must match");
   validate_options(options);
 
-  const auto attacks = attack::sample_attacks(
+  // Exactly two raw draws, whatever the method or thread count: one root
+  // for the attack-sample streams, one for the noise streams.
+  const std::uint64_t attack_root = rng.split();
+  const std::uint64_t noise_root = rng.split();
+  const auto attacks = attack::sample_attacks_seeded(
       h_attacker, z_ref, options.attack_relative_magnitude,
-      options.num_attacks, rng);
-  return score_candidate(attacks, h_actual, z_ref, options, rng);
+      options.num_attacks, attack_root);
+  return score_candidate(attacks, h_actual, z_ref, options, noise_root);
 }
 
 std::vector<EffectivenessResult> evaluate_candidates(
@@ -81,14 +92,35 @@ std::vector<EffectivenessResult> evaluate_candidates(
           "effectiveness: measurement dimensions must match");
   validate_options(options);
 
-  const auto attacks = attack::sample_attacks(
+  // Same two-draw contract as evaluate_effectiveness, and the same stream
+  // roots for every candidate: candidate i's scores are bit-equal to an
+  // evaluate_effectiveness call with a fresh rng seeded like `rng`, and all
+  // candidates face identical attacks AND identical noise (paired
+  // comparison, no cross-candidate sampling noise).
+  const std::uint64_t attack_root = rng.split();
+  const std::uint64_t noise_root = rng.split();
+  const auto attacks = attack::sample_attacks_seeded(
       h_attacker, z_ref, options.attack_relative_magnitude,
-      options.num_attacks, rng);
+      options.num_attacks, attack_root);
 
-  std::vector<EffectivenessResult> results;
-  results.reserve(h_candidates.size());
-  for (const linalg::Matrix& h : h_candidates)
-    results.push_back(score_candidate(attacks, h, z_ref, options, rng));
+  std::vector<EffectivenessResult> results(h_candidates.size());
+  const std::size_t workers = core::ThreadPool::global().num_threads();
+  if (h_candidates.size() >= workers && workers > 1) {
+    // Enough candidates to keep every worker on its own estimator build +
+    // scoring loop; the nested parallel_for inside score_candidate then
+    // runs inline.
+    core::parallel_for(h_candidates.size(), [&](std::size_t i) {
+      results[i] =
+          score_candidate(attacks, h_candidates[i], z_ref, options,
+                          noise_root);
+    });
+  } else {
+    // Few candidates: score them one at a time and let the per-attack
+    // parallelism inside score_candidate use the pool.
+    for (std::size_t i = 0; i < h_candidates.size(); ++i)
+      results[i] = score_candidate(attacks, h_candidates[i], z_ref, options,
+                                   noise_root);
+  }
   return results;
 }
 

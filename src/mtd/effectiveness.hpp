@@ -25,9 +25,9 @@ struct EffectivenessOptions {
   /// the Fig. 6 effectiveness range. EXPERIMENTS.md records the value used
   /// for each experiment.
   double sigma_mw = 0.05;
-  DetectionMethod method = DetectionMethod::kAnalytic;
+  DetectionMethod method = DetectionMethod::kAnalytic;  ///< P_D estimator
   int noise_trials = 1000;                 ///< Monte-Carlo draws per attack
-  std::vector<double> deltas = {0.5, 0.8, 0.9, 0.95};
+  std::vector<double> deltas = {0.5, 0.8, 0.9, 0.95};  ///< eta'(delta) grid
 };
 
 /// Result of an effectiveness evaluation.
@@ -47,6 +47,13 @@ struct EffectivenessResult {
 /// system with matrix `h_actual`, and `z_ref` is the noiseless measurement
 /// vector at the actual operating point (used both to scale the attack
 /// magnitudes and as the Monte-Carlo base signal).
+///
+/// Parallel and deterministic: attacks (and Monte-Carlo noise trials) are
+/// spread across the global `core::ThreadPool`, each task on its own
+/// counter-based RNG stream, and all reductions are ordered — the result
+/// is bit-identical for every thread count. `rng` advances by exactly two
+/// raw draws (the attack-stream root and the noise-stream root) regardless
+/// of the option values.
 EffectivenessResult evaluate_effectiveness(const linalg::Matrix& h_attacker,
                                            const linalg::Matrix& h_actual,
                                            const linalg::Vector& z_ref,
@@ -59,11 +66,14 @@ EffectivenessResult evaluate_effectiveness(const linalg::Matrix& h_attacker,
 /// factorization inside `sample_attacks` — is drawn ONCE and shared by
 /// every candidate, so the per-candidate work drops to the estimator build
 /// plus the detection probabilities, and every candidate is scored against
-/// the *same* attacks (paired comparison, no cross-candidate sampling
-/// noise). With the analytic detection method, entry i equals
+/// the *same* attacks — and, in Monte-Carlo mode, the same noise streams —
+/// (paired comparison, no cross-candidate sampling noise). With either
+/// detection method, entry i is bit-equal to
 /// `evaluate_effectiveness(h_attacker, h_candidates[i], z_ref, options,
 /// rng)` called with a fresh rng seeded like `rng`. Results are
-/// index-aligned with `h_candidates`.
+/// index-aligned with `h_candidates`. Candidates are scored across the
+/// global thread pool when the batch is large enough, per-attack otherwise;
+/// both schedules produce identical results.
 std::vector<EffectivenessResult> evaluate_candidates(
     const linalg::Matrix& h_attacker,
     const std::vector<linalg::Matrix>& h_candidates,

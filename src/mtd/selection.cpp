@@ -3,14 +3,30 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <optional>
+#include <memory>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
 #include "grid/measurement.hpp"
 #include "mtd/spa.hpp"
 #include "opf/reactance_opf.hpp"
 
 namespace mtdgrid::mtd {
+
+namespace {
+
+/// Per-worker evaluation state for the candidate sweep: the SPA and
+/// dispatch evaluators carry factorizations and (in future) scratch
+/// workspaces, so each pool worker builds its own pair instead of sharing.
+/// Construction is deterministic — every worker's pair computes identical
+/// objective values, so results do not depend on which worker served which
+/// candidate (the `parallel_for_with_state` contract).
+struct SweepState {
+  std::unique_ptr<SpaEvaluator> spa_eval;
+  std::unique_ptr<opf::DispatchEvaluator> dispatch_eval;
+};
+
+}  // namespace
 
 MtdSelectionResult select_mtd_perturbation(const grid::PowerSystem& sys,
                                            const linalg::Matrix& h_attacker,
@@ -38,25 +54,37 @@ MtdSelectionResult select_mtd_perturbation(const grid::PowerSystem& sys,
   constexpr double kInfeasiblePenalty = 1e15;
 
   // Amortized hot-path evaluators: the attacker basis is factorized once
-  // and each candidate costs a rank-k update + one power flow instead of
-  // two SVD-scale factorizations and a simplex solve.
-  std::optional<SpaEvaluator> spa_eval;
-  std::optional<opf::DispatchEvaluator> dispatch_eval;
-  if (options.use_fast_path) {
-    spa_eval.emplace(sys, h_attacker);
-    dispatch_eval.emplace(sys);
-  }
+  // per worker and each candidate costs a rank-k update + one power flow
+  // instead of two SVD-scale factorizations and a simplex solve. One
+  // evaluator pair per pool worker (SweepState), built lazily on first
+  // use and SHARED by the corner-scoring and multi-start regions below —
+  // the evaluators hold per-sweep factorizations, so sharing one across
+  // threads is not part of their contract, but reusing a worker's pair
+  // across regions is free.
+  core::WorkerStates<SweepState> worker_states(core::worker_state_slots());
+  const auto make_state = [&] {
+    SweepState state;
+    if (options.use_fast_path) {
+      state.spa_eval = std::make_unique<SpaEvaluator>(sys, h_attacker);
+      state.dispatch_eval = std::make_unique<opf::DispatchEvaluator>(sys);
+    }
+    return state;
+  };
 
   // Penalized objective: dispatch cost + quadratic penalty on the unmet
   // part of the SPA constraint (exact for a large enough multiplier).
-  const auto objective = [&](const linalg::Vector& dfacts_x) {
+  // Evaluated through a worker's own state; identical states give
+  // identical values, so the objective is a pure function of dfacts_x.
+  const auto objective_with = [&](const SweepState& state,
+                                  const linalg::Vector& dfacts_x) {
     const linalg::Vector x = opf::expand_dfacts_reactances(sys, dfacts_x);
-    const opf::DispatchResult d =
-        dispatch_eval ? dispatch_eval->evaluate(x) : opf::solve_dc_opf(sys, x);
+    const opf::DispatchResult d = state.dispatch_eval
+                                      ? state.dispatch_eval->evaluate(x)
+                                      : opf::solve_dc_opf(sys, x);
     if (!d.feasible) return kInfeasiblePenalty;
     const double gamma =
-        spa_eval ? spa_eval->gamma(x)
-                 : spa(h_attacker, grid::measurement_matrix(sys, x));
+        state.spa_eval ? state.spa_eval->gamma(x)
+                       : spa(h_attacker, grid::measurement_matrix(sys, x));
     const double deficit =
         options.pin_gamma ? std::abs(options.gamma_threshold - gamma)
                           : std::max(0.0, options.gamma_threshold - gamma);
@@ -92,6 +120,9 @@ MtdSelectionResult select_mtd_perturbation(const grid::PowerSystem& sys,
       double score;
       linalg::Vector x;
     };
+    // Corner generation stays sequential (it draws from `rng` when the box
+    // has more than 8 dimensions); the expensive scoring sweep fans out
+    // across the pool with one evaluator pair per worker.
     std::vector<ScoredCorner> corners;
     const std::size_t dims = lo.size();
     const std::size_t total =
@@ -103,8 +134,13 @@ MtdSelectionResult select_mtd_perturbation(const grid::PowerSystem& sys,
             dims <= 8 ? ((c >> i) & 1u) != 0 : rng.uniform() < 0.5;
         corner[i] = high ? hi[i] : lo[i];
       }
-      corners.push_back({objective(corner), std::move(corner)});
+      corners.push_back({0.0, std::move(corner)});
     }
+    core::parallel_for_with_shared_state(
+        corners.size(), worker_states, make_state,
+        [&](SweepState& state, std::size_t c) {
+          corners[c].score = objective_with(state, corners[c].x);
+        });
     std::sort(corners.begin(), corners.end(),
               [](const ScoredCorner& a, const ScoredCorner& b) {
                 return a.score < b.score;
@@ -116,11 +152,20 @@ MtdSelectionResult select_mtd_perturbation(const grid::PowerSystem& sys,
       starts.push_back(std::move(corners[i].x));
   }
 
+  // One Nelder-Mead run per start, in parallel with per-worker evaluators;
+  // the ordered strict-'<' fold below picks the same winner the sequential
+  // start loop would.
+  std::vector<opf::DirectSearchResult> results(starts.size());
+  core::parallel_for_with_shared_state(
+      starts.size(), worker_states, make_state,
+      [&](SweepState& state, std::size_t i) {
+        results[i] = opf::nelder_mead_box(
+            [&](const linalg::Vector& x) { return objective_with(state, x); },
+            lo, hi, starts[i], options.search);
+      });
   opf::DirectSearchResult best;
   bool first = true;
-  for (const linalg::Vector& start : starts) {
-    opf::DirectSearchResult r =
-        opf::nelder_mead_box(objective, lo, hi, start, options.search);
+  for (opf::DirectSearchResult& r : results) {
     if (first || r.value < best.value) {
       best = std::move(r);
       first = false;

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <atomic>
+#include <cstddef>
+
 #include "grid/power_system.hpp"
 #include "linalg/vector.hpp"
 
@@ -9,7 +12,7 @@ namespace mtdgrid::opf {
 /// branch reactances): the least-cost generation dispatch that balances
 /// the load and respects flow and generator limits.
 struct DispatchResult {
-  bool feasible = false;
+  bool feasible = false;         ///< a valid dispatch was found
   linalg::Vector generation_mw;  ///< per-generator dispatch G_i (MW)
   linalg::Vector theta_reduced;  ///< bus angles, slack removed (rad)
   linalg::Vector flows_mw;       ///< branch flows (MW)
@@ -42,17 +45,22 @@ double dispatch_cost(const grid::PowerSystem& sys,
 /// skipped; otherwise the evaluator falls back to `solve_dc_opf`.
 class DispatchEvaluator {
  public:
+  /// Builds the evaluator for `sys`, solving the flow-relaxed dispatch
+  /// once; `sys` must outlive the evaluator.
   explicit DispatchEvaluator(const grid::PowerSystem& sys);
   /// The evaluator only references the system; a temporary would dangle.
   explicit DispatchEvaluator(grid::PowerSystem&&) = delete;
 
   /// Optimal dispatch at reactances `x`; bit-equal cost to `solve_dc_opf`
-  /// up to LP solver tolerances.
+  /// up to LP solver tolerances. Safe to call concurrently from several
+  /// threads: all candidate-independent state is set at construction and
+  /// the instrumentation counters are atomic. (The selection sweep still
+  /// builds one evaluator per worker to keep cache lines unshared.)
   DispatchResult evaluate(const linalg::Vector& x) const;
 
-  /// Instrumentation: how often the relaxed dispatch was accepted vs how
-  /// often the full simplex ran.
+  /// Instrumentation: how often the relaxed dispatch was accepted.
   std::size_t fast_path_hits() const { return fast_hits_; }
+  /// Instrumentation: how often the full simplex fallback ran.
   std::size_t lp_fallbacks() const { return lp_fallbacks_; }
 
  private:
@@ -61,8 +69,8 @@ class DispatchEvaluator {
   linalg::Vector relaxed_generation_;
   linalg::Vector injections_mw_;
   double relaxed_cost_ = 0.0;
-  mutable std::size_t fast_hits_ = 0;
-  mutable std::size_t lp_fallbacks_ = 0;
+  mutable std::atomic<std::size_t> fast_hits_{0};
+  mutable std::atomic<std::size_t> lp_fallbacks_{0};
 };
 
 }  // namespace mtdgrid::opf

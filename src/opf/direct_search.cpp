@@ -5,6 +5,8 @@
 #include <cmath>
 #include <vector>
 
+#include "core/parallel.hpp"
+
 namespace mtdgrid::opf {
 
 namespace {
@@ -131,25 +133,36 @@ DirectSearchResult multi_start_minimize(
     const linalg::Vector& lo, const linalg::Vector& hi,
     const std::vector<linalg::Vector>& starts, int extra_starts,
     stats::Rng& rng, const DirectSearchOptions& options) {
-  DirectSearchResult best;
-  bool first = true;
-  int total_evals = 0;
-  const auto run_from = [&](const linalg::Vector& start) {
-    DirectSearchResult r = nelder_mead_box(objective, lo, hi, start, options);
-    total_evals += r.evaluations;
-    if (first || r.value < best.value) {
-      best = std::move(r);
-      first = false;
-    }
-  };
-  for (const linalg::Vector& start : starts) run_from(start);
+  // Draw the whole start portfolio up front, sequentially from `rng`: the
+  // points (and the generator's final state) are then independent of how
+  // the searches below are scheduled.
+  std::vector<linalg::Vector> portfolio = starts;
   const int random_starts =
       starts.empty() ? std::max(1, extra_starts) : extra_starts;
   for (int s = 0; s < random_starts; ++s) {
     linalg::Vector start(lo.size());
     for (std::size_t i = 0; i < lo.size(); ++i)
       start[i] = rng.uniform(lo[i], hi[i]);
-    run_from(start);
+    portfolio.push_back(std::move(start));
+  }
+
+  // One independent Nelder-Mead per start, in parallel; the best-of fold
+  // runs in start order with a strict '<', matching the sequential scan.
+  const std::vector<DirectSearchResult> results =
+      core::parallel_map<DirectSearchResult>(
+          portfolio.size(), [&](std::size_t i) {
+            return nelder_mead_box(objective, lo, hi, portfolio[i], options);
+          });
+
+  DirectSearchResult best;
+  bool first = true;
+  int total_evals = 0;
+  for (const DirectSearchResult& r : results) {
+    total_evals += r.evaluations;
+    if (first || r.value < best.value) {
+      best = r;
+      first = false;
+    }
   }
   best.evaluations = total_evals;
   return best;

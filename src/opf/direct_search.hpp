@@ -34,6 +34,14 @@ DirectSearchResult nelder_mead_box(
 /// Multi-start wrapper mirroring the paper's fmincon+MultiStart usage:
 /// runs Nelder-Mead from `x0` plus `extra_starts` uniform random points in
 /// the box (drawn from `rng`) and returns the best result.
+///
+/// The starts run concurrently on the global `core::ThreadPool`, so
+/// `objective` must be safe to call from several threads at once (pure
+/// functions and const evaluators qualify; see DESIGN.md "Threading model"
+/// for the per-worker-state pattern when it is not). Determinism: the
+/// start portfolio is drawn sequentially from `rng` up front and the
+/// best-of reduction scans results in start order, so the outcome — and
+/// the state `rng` is left in — is bit-identical for every thread count.
 DirectSearchResult multi_start_minimize(
     const std::function<double(const linalg::Vector&)>& objective,
     const linalg::Vector& lo, const linalg::Vector& hi,

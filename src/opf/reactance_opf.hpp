@@ -24,7 +24,7 @@ struct ReactanceOpfOptions {
 
 /// Result of the reactance-augmented OPF.
 struct ReactanceOpfResult {
-  bool feasible = false;
+  bool feasible = false;      ///< a feasible (x, dispatch) pair was found
   linalg::Vector reactances;  ///< full branch reactance vector (length L)
   DispatchResult dispatch;    ///< dispatch at the optimized reactances
 };

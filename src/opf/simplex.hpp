@@ -21,13 +21,13 @@ inline constexpr double kLpInfinity = std::numeric_limits<double>::infinity();
 /// branch reactances, problem (1) of the paper is exactly such an LP in
 /// the dispatch and the voltage phase angles.
 struct LinearProgram {
-  linalg::Vector objective;
+  linalg::Vector objective;  ///< cost vector c
   linalg::Matrix eq_matrix;  ///< may have zero rows
-  linalg::Vector eq_rhs;
+  linalg::Vector eq_rhs;     ///< right-hand side of A_eq x == b_eq
   linalg::Matrix ub_matrix;  ///< may have zero rows
-  linalg::Vector ub_rhs;
-  linalg::Vector lower_bounds;
-  linalg::Vector upper_bounds;
+  linalg::Vector ub_rhs;     ///< right-hand side of A_ub x <= b_ub
+  linalg::Vector lower_bounds;  ///< per-variable lb (may be -infinity)
+  linalg::Vector upper_bounds;  ///< per-variable ub (may be +infinity)
 
   /// Number of decision variables.
   std::size_t num_variables() const { return objective.size(); }
@@ -36,15 +36,17 @@ struct LinearProgram {
   void validate() const;
 };
 
+/// Termination state of a `solve_linear_program` call.
 enum class LpStatus {
-  kOptimal,
-  kInfeasible,
-  kUnbounded,
-  kIterationLimit,
+  kOptimal,         ///< optimal basic feasible solution found
+  kInfeasible,      ///< constraints admit no feasible point
+  kUnbounded,       ///< objective decreases without bound
+  kIterationLimit,  ///< pivot budget exhausted before convergence
 };
 
+/// Result of a `solve_linear_program` call.
 struct LpSolution {
-  LpStatus status = LpStatus::kIterationLimit;
+  LpStatus status = LpStatus::kIterationLimit;  ///< termination state
   linalg::Vector x;        ///< optimal point (valid when kOptimal)
   double objective = 0.0;  ///< optimal objective value (valid when kOptimal)
 };

@@ -37,11 +37,11 @@ double normal_cdf(double x);
 
 /// Descriptive statistics of a sample.
 struct Summary {
-  double mean = 0.0;
+  double mean = 0.0;    ///< sample mean
   double stddev = 0.0;  ///< sample standard deviation (n - 1 denominator)
-  double min = 0.0;
-  double max = 0.0;
-  std::size_t count = 0;
+  double min = 0.0;     ///< smallest observation
+  double max = 0.0;     ///< largest observation
+  std::size_t count = 0;  ///< number of observations
 };
 
 /// Computes the summary of `values[0..n)`; n may be zero.

@@ -82,4 +82,17 @@ double Rng::gaussian(double mean, double stddev) {
   return mean + stddev * gaussian();
 }
 
+std::uint64_t stream_seed(std::uint64_t root, std::uint64_t index) {
+  // Place the pair on the splitmix64 golden-gamma orbit (index + 1 keeps
+  // stream 0 off the root itself), then run two finalizer rounds so that
+  // adjacent indices land in unrelated states.
+  std::uint64_t s = root + (index + 1) * 0x9e3779b97f4a7c15ULL;
+  const std::uint64_t first = splitmix64(s);
+  return first ^ splitmix64(s);
+}
+
+Rng make_stream(std::uint64_t root, std::uint64_t index) {
+  return Rng(stream_seed(root, index));
+}
+
 }  // namespace mtdgrid::stats

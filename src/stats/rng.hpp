@@ -32,10 +32,31 @@ class Rng {
   /// Normal draw with the given mean and standard deviation.
   double gaussian(double mean, double stddev);
 
+  /// Draws one raw value to serve as the root of a counter-based substream
+  /// family (see `stream_seed`). Consuming exactly one draw — independent
+  /// of how many substreams are later derived — is what lets a parallel
+  /// code path advance the caller's generator by the same amount as the
+  /// sequential path.
+  std::uint64_t split() { return next_u64(); }
+
  private:
   std::uint64_t state_[4];
   bool has_cached_gaussian_ = false;
   double cached_gaussian_ = 0.0;
 };
+
+/// Counter-based stream derivation: mixes `(root, index)` through two
+/// rounds of the splitmix64 finalizer into the seed of a statistically
+/// independent substream. The mapping is a pure function of the pair —
+/// stream `index` of family `root` is the same no matter which thread
+/// derives it, in what order, or how many siblings exist — which is the
+/// foundation of the library's deterministic parallelism (DESIGN.md
+/// "Threading model & deterministic seeding").
+std::uint64_t stream_seed(std::uint64_t root, std::uint64_t index);
+
+/// Convenience: the ready-to-use generator for task `index` of the
+/// substream family rooted at `root`; equivalent to
+/// `Rng(stream_seed(root, index))`.
+Rng make_stream(std::uint64_t root, std::uint64_t index);
 
 }  // namespace mtdgrid::stats

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <string>
 
 #include "grid/cases.hpp"
 #include "io/matpower.hpp"
@@ -35,9 +36,33 @@ TEST(CaseRegistryTest, UnknownNameThrowsWithKnownList) {
     load_case("case9999");
     FAIL() << "expected CaseIoError";
   } catch (const CaseIoError& e) {
-    EXPECT_NE(std::string(e.what()).find("unknown case 'case9999'"),
-              std::string::npos);
-    EXPECT_NE(std::string(e.what()).find("case118"), std::string::npos);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown case 'case9999'"), std::string::npos);
+    // The diagnostic must list every registered canonical name AND its
+    // aliases, so a near-miss shows the accepted spellings.
+    for (const CaseEntry& entry : CaseRegistry::global().entries()) {
+      EXPECT_NE(what.find(entry.name), std::string::npos)
+          << "missing canonical name " << entry.name << " in: " << what;
+      for (const std::string& alias : entry.aliases)
+        EXPECT_NE(what.find(alias), std::string::npos)
+            << "missing alias " << alias << " in: " << what;
+    }
+    EXPECT_NE(what.find("or a path to a .m file"), std::string::npos);
+  }
+}
+
+TEST(CaseRegistryTest, UnknownNameMessagePinned) {
+  // Pins the exact shape of the message (ISSUE 4 satellite): canonical
+  // names with aliases in parentheses, comma-separated.
+  try {
+    load_case("bogus");
+    FAIL() << "expected CaseIoError";
+  } catch (const CaseIoError& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "unknown case 'bogus' (known: case4 (case4gs), wscc9 (case9), "
+              "case14 (ieee14), ieee30 (case30), case57 (ieee57), "
+              "case118 (ieee118), case300 (ieee300), "
+              "or a path to a .m file)");
   }
 }
 

@@ -19,7 +19,11 @@ Subcommands:
       ratios, which is what CI uses (absolute wall times differ across
       runners; the fast-path-vs-reference ratio does not).
       Each --min-speedup SLOW:FAST:RATIO additionally asserts that in the
-      *current* run, time(SLOW) / time(FAST) >= RATIO.
+      *current* run, time(SLOW) / time(FAST) >= RATIO. An optional @CORES
+      suffix (SLOW:FAST:RATIO@CORES) skips the assertion when the current
+      run's machine reported fewer than CORES cpus in its benchmark
+      context — used for thread-scaling gates, which a 1-core dev VM can
+      never satisfy.
 
 Refresh the baseline by rebuilding Release benches and re-running merge
 (see README "Performance" section).
@@ -84,7 +88,8 @@ def _normalized(times, reference_name, path):
 
 def cmd_check(args):
     _, base_times = load_benchmarks(args.baseline)
-    _, cur_times = load_benchmarks(args.current)
+    cur_data, cur_times = load_benchmarks(args.current)
+    cur_cpus = cur_data.get("context", {}).get("num_cpus", 0)
     failures = []
 
     base_n = _normalized(base_times, args.normalize_by, args.baseline)
@@ -125,9 +130,17 @@ def cmd_check(args):
     for spec in args.min_speedup or []:
         try:
             slow, fast, ratio_s = spec.rsplit(":", 2)
+            min_cores = 0
+            if "@" in ratio_s:
+                ratio_s, cores_s = ratio_s.split("@", 1)
+                min_cores = int(cores_s)
             ratio = float(ratio_s)
         except ValueError:
             failures.append(f"bad --min-speedup spec '{spec}'")
+            continue
+        if min_cores and cur_cpus < min_cores:
+            print(f"speedup {slow} / {fast}: skipped "
+                  f"(machine has {cur_cpus} cpus < {min_cores})")
             continue
         if slow not in cur_times or fast not in cur_times:
             failures.append(f"--min-speedup {spec}: benchmark missing")

@@ -1,0 +1,96 @@
+// Serving-layer throughput: how many requests the MTD daemon core
+// absorbs per second, through the exact code path the socket transport
+// drives (`MtdDaemon::handle_line` — parse, snapshot lookup, estimator
+// evaluation, reply serialization). The daemon is built once per binary
+// run (pass-1 day + hour-0 re-key) and the request mix is pinned, so the
+// numbers isolate the per-request cost.
+//
+// BM_DaemonDetectThroughput is the guarded benchmark (bench/baseline.json
+// + the CI perf filter): a `detect` with a submitted 54-entry measurement
+// vector is the daemon's workhorse query — one WLS residual evaluation
+// plus the protocol round trip.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "bench_util.hpp"
+#include "grid/cases.hpp"
+#include "grid/load_trace.hpp"
+#include "serve/daemon.hpp"
+#include "serve/json.hpp"
+
+namespace {
+
+using namespace mtdgrid;
+
+serve::MtdDaemon& shared_daemon() {
+  static std::unique_ptr<serve::MtdDaemon> daemon = [] {
+    serve::DaemonOptions options;
+    options.seed = 7;
+    options.history_hours = 4;
+    options.daily.gamma_grid = {0.05, 0.15};
+    options.daily.base_search_evaluations = 120;
+    options.daily.effectiveness.num_attacks = 40;
+    options.daily.selection.extra_starts = 1;
+    options.daily.selection.search.max_evaluations = 150;
+    return std::make_unique<serve::MtdDaemon>(
+        grid::make_case14(), grid::DailyLoadTrace::nyiso_winter_weekday(),
+        options);
+  }();
+  return *daemon;
+}
+
+/// A realistic detect request: the hour-0 probe sample (attack-free noisy
+/// measurements) resubmitted as an explicit 54-entry `z`.
+std::string detect_request_line() {
+  static const std::string line = [] {
+    serve::MtdDaemon& daemon = shared_daemon();
+    const serve::Json probe =
+        serve::Json::parse(daemon.handle_line(R"({"op":"probe","id":1})"));
+    serve::Json req;
+    req.set("op", serve::Json("detect"));
+    serve::Json z;
+    for (const serve::Json& v : probe.find("z")->as_array())
+      z.push_back(serve::Json(v.as_number()));
+    req.set("z", std::move(z));
+    return req.dump();
+  }();
+  return line;
+}
+
+void BM_DaemonDetectThroughput(benchmark::State& state) {
+  serve::MtdDaemon& daemon = shared_daemon();
+  const std::string request = detect_request_line();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(daemon.handle_line(request));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DaemonDetectThroughput);
+
+void BM_DaemonStatusThroughput(benchmark::State& state) {
+  serve::MtdDaemon& daemon = shared_daemon();
+  const std::string request = R"({"op":"status"})";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(daemon.handle_line(request));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DaemonStatusThroughput);
+
+void BM_DaemonProbeThroughput(benchmark::State& state) {
+  serve::MtdDaemon& daemon = shared_daemon();
+  // Distinct ids exercise the per-request substream derivation.
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    const std::string request =
+        R"({"op":"probe","id":)" + std::to_string(id++) + "}";
+    benchmark::DoNotOptimize(daemon.handle_line(request));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DaemonProbeThroughput);
+
+}  // namespace

@@ -110,6 +110,44 @@ void parallel_for_with_shared_state(std::size_t count,
   });
 }
 
+/// Caller-owned cache of per-worker states that outlives individual
+/// parallel calls — the "request-scoped worker-state reuse" layer behind
+/// long-lived loops (the daily re-keying engine, the serving daemon):
+/// several `parallel_for_with_shared_state` call *sites* in several calls
+/// to the same API can share one set of expensive states (evaluator
+/// pairs, factorizations) as long as the inputs those states were built
+/// from have not changed. The owner calls `invalidate()` whenever they do
+/// (new hour, new attacker matrix, new loads); `slots()` transparently
+/// re-sizes when the global pool size changed between calls. States obey
+/// the interchangeability rule of `parallel_for_with_state` unchanged, so
+/// reuse is a pure speed knob — results are bit-identical with or without
+/// a cache, at any thread count.
+template <typename State>
+class WorkerStateCache {
+ public:
+  /// Drops every cached state; the next `slots()` hands out empty slots
+  /// that the parallel region refills lazily. Call on any change to the
+  /// inputs the states depend on.
+  void invalidate() {
+    for (std::unique_ptr<State>& s : states_) s.reset();
+  }
+
+  /// The per-worker state slots, sized for the given (default: global)
+  /// pool. A pool-size change invalidates implicitly — slot k must always
+  /// belong to worker k of the *current* pool.
+  WorkerStates<State>& slots(ThreadPool* pool = nullptr) {
+    const std::size_t n = worker_state_slots(pool);
+    if (states_.size() != n) {
+      states_.clear();
+      states_.resize(n);
+    }
+    return states_;
+  }
+
+ private:
+  WorkerStates<State> states_;
+};
+
 /// Evaluates `fn(i) -> T` for every index in parallel and returns the
 /// results ordered by task index. The index-ordered output (not the
 /// execution order) is what downstream reductions fold over, which is the

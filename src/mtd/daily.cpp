@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "grid/measurement.hpp"
 #include "mtd/spa.hpp"
@@ -9,14 +10,17 @@
 
 namespace mtdgrid::mtd {
 
-std::vector<HourlyRecord> run_daily_simulation(
-    grid::PowerSystem sys, const grid::DailyLoadTrace& trace,
-    const DailySimulationOptions& options, stats::Rng& rng) {
-  if (options.gamma_grid.empty())
+DailyEngine::DailyEngine(grid::PowerSystem sys, grid::DailyLoadTrace trace,
+                         DailySimulationOptions options)
+    : sys_(std::move(sys)),
+      trace_(std::move(trace)),
+      options_(std::move(options)),
+      base_loads_(sys_.loads_mw()),
+      dfacts_(sys_.dfacts_branches()) {
+  if (options_.gamma_grid.empty())
     throw std::invalid_argument("daily simulation: empty gamma grid");
 
-  const linalg::Vector base_loads = sys.loads_mw();
-  const std::size_t hours = trace.size();
+  const std::size_t hours = trace_.size();
 
   // Pass 1: the no-MTD system of every hour — problem (1) with D-FACTS,
   // giving x_t, H_t and C_OPF,t. These are both the defender's baseline
@@ -28,119 +32,136 @@ std::vector<HourlyRecord> run_daily_simulation(
   // gamma(H_t, H_t') nearly zero in Fig. 11: a randomized multi-start
   // would hop across the flat-cost plateau in x and hand the attacker's
   // stale knowledge a spurious MTD effect.
-  struct BaseHour {
-    linalg::Vector reactances;
-    linalg::Matrix h;
-    double cost = 0.0;
-    bool feasible = false;
-  };
-  const auto dfacts = sys.dfacts_branches();
-  const linalg::Vector lo_full = sys.reactance_lower_limits();
-  const linalg::Vector hi_full = sys.reactance_upper_limits();
-  linalg::Vector lo(dfacts.size()), hi(dfacts.size()), x_warm(dfacts.size());
-  for (std::size_t k = 0; k < dfacts.size(); ++k) {
-    lo[k] = lo_full[dfacts[k]];
-    hi[k] = hi_full[dfacts[k]];
-    x_warm[k] = sys.branch(dfacts[k]).reactance;
+  const linalg::Vector lo_full = sys_.reactance_lower_limits();
+  const linalg::Vector hi_full = sys_.reactance_upper_limits();
+  linalg::Vector lo(dfacts_.size()), hi(dfacts_.size()), x_warm(dfacts_.size());
+  for (std::size_t k = 0; k < dfacts_.size(); ++k) {
+    lo[k] = lo_full[dfacts_[k]];
+    hi[k] = hi_full[dfacts_[k]];
+    x_warm[k] = sys_.branch(dfacts_[k]).reactance;
   }
 
-  std::vector<BaseHour> base(hours);
+  base_.resize(hours);
   for (std::size_t h = 0; h < hours; ++h) {
-    trace.apply(sys, h, base_loads);
+    trace_.apply(sys_, h, base_loads_);
     constexpr double kInfeasiblePenalty = 1e12;
     // One evaluator per hour (the merit-order certificate depends on the
     // hour's loads); the local search below then runs LP-free whenever the
     // relaxed dispatch stays inside the flow limits.
-    const opf::DispatchEvaluator evaluator(sys);
+    const opf::DispatchEvaluator evaluator(sys_);
     const auto cost_of = [&](const linalg::Vector& dfacts_x) {
-      const linalg::Vector x = opf::expand_dfacts_reactances(sys, dfacts_x);
+      const linalg::Vector x = opf::expand_dfacts_reactances(sys_, dfacts_x);
       const opf::DispatchResult d = evaluator.evaluate(x);
       return d.feasible ? d.cost : kInfeasiblePenalty;
     };
     opf::DirectSearchOptions local;
-    local.max_evaluations = 400;
+    local.max_evaluations = options_.base_search_evaluations;
     local.initial_step = 0.05;  // small step: stay near the warm start
     const opf::DirectSearchResult r =
         opf::nelder_mead_box(cost_of, lo, hi, x_warm, local);
     if (r.value >= kInfeasiblePenalty) continue;
     x_warm = r.x;
-    base[h].reactances = opf::expand_dfacts_reactances(sys, r.x);
-    const opf::DispatchResult d = opf::solve_dc_opf(sys, base[h].reactances);
-    base[h].feasible = d.feasible;
-    base[h].h = grid::measurement_matrix(sys, base[h].reactances);
-    base[h].cost = d.cost;
+    base_[h].reactances = opf::expand_dfacts_reactances(sys_, r.x);
+    const opf::DispatchResult d = opf::solve_dc_opf(sys_, base_[h].reactances);
+    base_[h].feasible = d.feasible;
+    base_[h].h = grid::measurement_matrix(sys_, base_[h].reactances);
+    base_[h].cost = d.cost;
   }
+}
 
-  // Pass 2: per hour, tune gamma_th and solve problem (4) against the
-  // previous hour's matrix (cyclic at midnight).
-  std::vector<HourlyRecord> records(hours);
-  std::size_t start_idx = 0;
-  linalg::Vector mtd_warm;  // previous hour's MTD perturbation (D-FACTS)
-  for (std::size_t h = 0; h < hours; ++h) {
-    HourlyRecord& rec = records[h];
-    rec.hour = h;
-    rec.total_load_mw = trace.total_mw(h);
+DailyHourOutcome DailyEngine::advance_hour(stats::Rng& rng) {
+  const std::size_t hours = trace_.size();
+  const std::size_t h = hour_ % hours;  // trace hour of this step
 
-    const std::size_t prev = (h + hours - 1) % hours;
-    if (!base[h].feasible || !base[prev].feasible) continue;
-    rec.base_opf_cost = base[h].cost;
+  DailyHourOutcome out;
+  HourlyRecord& rec = out.record;
+  rec.hour = hour_;
+  rec.total_load_mw = trace_.total_mw(h);
+  ++hour_;
 
-    trace.apply(sys, h, base_loads);
-    const linalg::Matrix& h_attacker = base[prev].h;
+  // The per-hour inputs (loads, attacker matrix) change here, so any
+  // evaluator pairs cached from the previous hour are stale.
+  worker_cache_.invalidate();
 
-    MtdSelectionOptions sel = options.selection;
-    // Pin the achieved SPA at gamma_th: minimizing cost over the flat-cost
-    // plateau leaves the angle under-determined, and a drifting angle would
-    // decouple the tuned threshold from the achieved effectiveness (and
-    // from the cost the paper's Fig. 10 attributes to it).
-    sel.pin_gamma = true;
-    // Warm-start from the previous hour's perturbation: the load moves a
-    // few percent per hour, so the incumbent is usually near-feasible for
-    // the new hour and saves the search most of its exploration budget.
-    sel.warm_start = mtd_warm;
-    bool done = false;
-    for (std::size_t gi = start_idx; gi < options.gamma_grid.size(); ++gi) {
-      sel.gamma_threshold = options.gamma_grid[gi];
-      const MtdSelectionResult res =
-          select_mtd_perturbation(sys, h_attacker, base[h].cost, sel, rng);
-      if (!res.feasible) continue;
-      mtd_warm = linalg::Vector(dfacts.size());
-      for (std::size_t k = 0; k < dfacts.size(); ++k)
-        mtd_warm[k] = res.reactances[dfacts[k]];
+  const std::size_t prev = (h + hours - 1) % hours;
+  if (!base_[h].feasible || !base_[prev].feasible) return out;
+  rec.base_opf_cost = base_[h].cost;
 
-      const linalg::Vector z_ref = grid::noiseless_measurements(
-          sys, res.reactances, res.dispatch.theta_reduced);
-      EffectivenessOptions eff = options.effectiveness;
-      eff.deltas = {options.target_delta};
-      const EffectivenessResult er =
-          evaluate_effectiveness(h_attacker, res.h_mtd, z_ref, eff, rng);
+  trace_.apply(sys_, h, base_loads_);
+  const linalg::Matrix& h_attacker = base_[prev].h;
 
-      rec.gamma_threshold = sel.gamma_threshold;
-      rec.mtd_opf_cost = res.opf_cost;
-      // C_MTD is non-negative by construction (problem (4)'s feasible set
-      // is contained in problem (1)'s); a tiny negative value only means
-      // the warm-started hourly baseline was not polished to the global
-      // optimum, so report "no additional cost".
-      rec.cost_increase_pct = std::max(0.0, 100.0 * res.cost_increase);
-      rec.gamma_ht_htp = spa(h_attacker, base[h].h);
-      rec.gamma_ht_hmtd = res.spa;
-      rec.gamma_htp_hmtd = spa(base[h].h, res.h_mtd);
-      rec.eta_at_target = er.eta[0];
-      rec.feasible = true;
+  MtdSelectionOptions sel = options_.selection;
+  // Pin the achieved SPA at gamma_th: minimizing cost over the flat-cost
+  // plateau leaves the angle under-determined, and a drifting angle would
+  // decouple the tuned threshold from the achieved effectiveness (and
+  // from the cost the paper's Fig. 10 attributes to it).
+  sel.pin_gamma = true;
+  // Warm-start from the previous hour's perturbation: the load moves a
+  // few percent per hour, so the incumbent is usually near-feasible for
+  // the new hour and saves the search most of its exploration budget.
+  sel.warm_start = mtd_warm_;
+  // Reuse the per-worker evaluator pairs across the gamma-grid retries of
+  // this hour (they depend only on the hour's loads and attacker matrix).
+  sel.worker_cache = &worker_cache_;
+  bool done = false;
+  for (std::size_t gi = start_idx_; gi < options_.gamma_grid.size(); ++gi) {
+    sel.gamma_threshold = options_.gamma_grid[gi];
+    MtdSelectionResult res =
+        select_mtd_perturbation(sys_, h_attacker, base_[h].cost, sel, rng);
+    if (!res.feasible) continue;
+    mtd_warm_ = linalg::Vector(dfacts_.size());
+    for (std::size_t k = 0; k < dfacts_.size(); ++k)
+      mtd_warm_[k] = res.reactances[dfacts_[k]];
 
-      if (er.eta[0] >= options.target_eta) {
-        done = true;
-        // Warm-start the next hour one grid step below this one.
-        start_idx = (gi > 0) ? gi - 1 : 0;
-        break;
-      }
-    }
-    if (!done && !rec.feasible) {
-      // Nothing feasible from the warm start onward: retry from scratch
-      // next hour.
-      start_idx = 0;
+    const linalg::Vector z_ref = grid::noiseless_measurements(
+        sys_, res.reactances, res.dispatch.theta_reduced);
+    EffectivenessOptions eff = options_.effectiveness;
+    eff.deltas = {options_.target_delta};
+    const EffectivenessResult er =
+        evaluate_effectiveness(h_attacker, res.h_mtd, z_ref, eff, rng);
+
+    rec.gamma_threshold = sel.gamma_threshold;
+    rec.mtd_opf_cost = res.opf_cost;
+    // C_MTD is non-negative by construction (problem (4)'s feasible set
+    // is contained in problem (1)'s); a tiny negative value only means
+    // the warm-started hourly baseline was not polished to the global
+    // optimum, so report "no additional cost".
+    rec.cost_increase_pct = std::max(0.0, 100.0 * res.cost_increase);
+    rec.gamma_ht_htp = spa(h_attacker, base_[h].h);
+    rec.gamma_ht_hmtd = res.spa;
+    rec.gamma_htp_hmtd = spa(base_[h].h, res.h_mtd);
+    rec.eta_at_target = er.eta[0];
+    rec.feasible = true;
+
+    // Export the operational state of this (so far best) key.
+    out.z_ref = z_ref;
+    out.dispatch = std::move(res.dispatch);
+    out.reactances = std::move(res.reactances);
+    out.h_mtd = std::move(res.h_mtd);
+
+    if (er.eta[0] >= options_.target_eta) {
+      done = true;
+      // Warm-start the next hour one grid step below this one.
+      start_idx_ = (gi > 0) ? gi - 1 : 0;
+      break;
     }
   }
+  if (!done && !rec.feasible) {
+    // Nothing feasible from the warm start onward: retry from scratch
+    // next hour.
+    start_idx_ = 0;
+  }
+  return out;
+}
+
+std::vector<HourlyRecord> run_daily_simulation(
+    grid::PowerSystem sys, const grid::DailyLoadTrace& trace,
+    const DailySimulationOptions& options, stats::Rng& rng) {
+  DailyEngine engine(std::move(sys), trace, options);
+  std::vector<HourlyRecord> records;
+  records.reserve(trace.size());
+  for (std::size_t h = 0; h < trace.size(); ++h)
+    records.push_back(engine.advance_hour(rng).record);
   return records;
 }
 

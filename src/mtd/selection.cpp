@@ -13,21 +13,6 @@
 
 namespace mtdgrid::mtd {
 
-namespace {
-
-/// Per-worker evaluation state for the candidate sweep: the SPA and
-/// dispatch evaluators carry factorizations and (in future) scratch
-/// workspaces, so each pool worker builds its own pair instead of sharing.
-/// Construction is deterministic — every worker's pair computes identical
-/// objective values, so results do not depend on which worker served which
-/// candidate (the `parallel_for_with_state` contract).
-struct SweepState {
-  std::unique_ptr<SpaEvaluator> spa_eval;
-  std::unique_ptr<opf::DispatchEvaluator> dispatch_eval;
-};
-
-}  // namespace
-
 MtdSelectionResult select_mtd_perturbation(const grid::PowerSystem& sys,
                                            const linalg::Matrix& h_attacker,
                                            double base_opf_cost,
@@ -56,14 +41,21 @@ MtdSelectionResult select_mtd_perturbation(const grid::PowerSystem& sys,
   // Amortized hot-path evaluators: the attacker basis is factorized once
   // per worker and each candidate costs a rank-k update + one power flow
   // instead of two SVD-scale factorizations and a simplex solve. One
-  // evaluator pair per pool worker (SweepState), built lazily on first
-  // use and SHARED by the corner-scoring and multi-start regions below —
-  // the evaluators hold per-sweep factorizations, so sharing one across
-  // threads is not part of their contract, but reusing a worker's pair
-  // across regions is free.
-  core::WorkerStates<SweepState> worker_states(core::worker_state_slots());
+  // evaluator pair per pool worker (SelectionWorkerState), built lazily on
+  // first use and SHARED by the corner-scoring and multi-start regions
+  // below — the evaluators hold per-sweep factorizations, so sharing one
+  // across threads is not part of their contract, but reusing a worker's
+  // pair across regions is free. With `options.worker_cache` the same
+  // pairs additionally survive across *calls* with unchanged inputs (the
+  // daily gamma-grid retries); states are interchangeable either way.
+  core::WorkerStates<SelectionWorkerState> local_states;
+  core::WorkerStates<SelectionWorkerState>& worker_states =
+      options.worker_cache != nullptr ? options.worker_cache->slots()
+                                      : local_states;
+  if (options.worker_cache == nullptr)
+    local_states.resize(core::worker_state_slots());
   const auto make_state = [&] {
-    SweepState state;
+    SelectionWorkerState state;
     if (options.use_fast_path) {
       state.spa_eval = std::make_unique<SpaEvaluator>(sys, h_attacker);
       state.dispatch_eval = std::make_unique<opf::DispatchEvaluator>(sys);
@@ -75,7 +67,7 @@ MtdSelectionResult select_mtd_perturbation(const grid::PowerSystem& sys,
   // part of the SPA constraint (exact for a large enough multiplier).
   // Evaluated through a worker's own state; identical states give
   // identical values, so the objective is a pure function of dfacts_x.
-  const auto objective_with = [&](const SweepState& state,
+  const auto objective_with = [&](const SelectionWorkerState& state,
                                   const linalg::Vector& dfacts_x) {
     const linalg::Vector x = opf::expand_dfacts_reactances(sys, dfacts_x);
     const opf::DispatchResult d = state.dispatch_eval
@@ -138,7 +130,7 @@ MtdSelectionResult select_mtd_perturbation(const grid::PowerSystem& sys,
     }
     core::parallel_for_with_shared_state(
         corners.size(), worker_states, make_state,
-        [&](SweepState& state, std::size_t c) {
+        [&](SelectionWorkerState& state, std::size_t c) {
           corners[c].score = objective_with(state, corners[c].x);
         });
     std::sort(corners.begin(), corners.end(),
@@ -158,7 +150,7 @@ MtdSelectionResult select_mtd_perturbation(const grid::PowerSystem& sys,
   std::vector<opf::DirectSearchResult> results(starts.size());
   core::parallel_for_with_shared_state(
       starts.size(), worker_states, make_state,
-      [&](SweepState& state, std::size_t i) {
+      [&](SelectionWorkerState& state, std::size_t i) {
         results[i] = opf::nelder_mead_box(
             [&](const linalg::Vector& x) { return objective_with(state, x); },
             lo, hi, starts[i], options.search);

@@ -1,12 +1,30 @@
 #pragma once
 
+#include <memory>
+
+#include "core/parallel.hpp"
 #include "grid/power_system.hpp"
 #include "linalg/matrix.hpp"
+#include "mtd/spa.hpp"
 #include "opf/dc_opf.hpp"
 #include "opf/direct_search.hpp"
 #include "stats/rng.hpp"
 
 namespace mtdgrid::mtd {
+
+/// Per-worker evaluation state of the selection sweep: the SPA and
+/// dispatch evaluators carry factorizations, so each pool worker builds
+/// its own pair instead of sharing. Construction is deterministic — every
+/// worker's pair computes identical objective values, so results do not
+/// depend on which worker served which candidate (the
+/// `core::parallel_for_with_state` contract). Exposed publicly so a
+/// long-lived caller can keep a `core::WorkerStateCache` of these across
+/// repeated `select_mtd_perturbation` calls with unchanged inputs (see
+/// `MtdSelectionOptions::worker_cache`).
+struct SelectionWorkerState {
+  std::unique_ptr<SpaEvaluator> spa_eval;          ///< rank-k SPA fast path
+  std::unique_ptr<opf::DispatchEvaluator> dispatch_eval;  ///< OPF fast path
+};
 
 /// Options for the SPA-constrained minimum-cost MTD selection (paper
 /// problem (4)).
@@ -35,6 +53,16 @@ struct MtdSelectionOptions {
   /// `dfacts_branches()` order) added to the start portfolio — e.g. the
   /// previous hour's perturbation in the daily loop. Empty = none.
   linalg::Vector warm_start;
+  /// Optional caller-owned per-worker evaluator cache, reused across
+  /// consecutive `select_mtd_perturbation` calls whose (system, loads,
+  /// `h_attacker`, `use_fast_path`) are all unchanged — the daily loop's
+  /// gamma-grid retries within one hour, the daemon's request-scoped
+  /// re-keying. The caller must `invalidate()` the cache whenever any of
+  /// those inputs changes. States are interchangeable (deterministic
+  /// construction), so caching is a pure speed knob: results are
+  /// bit-identical with or without it. nullptr (default) builds per-call
+  /// states.
+  core::WorkerStateCache<SelectionWorkerState>* worker_cache = nullptr;
 };
 
 /// Result of the MTD perturbation selection.

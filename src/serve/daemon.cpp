@@ -1,0 +1,435 @@
+#include "serve/daemon.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "estimation/detection.hpp"
+#include "io/case_registry.hpp"
+
+namespace mtdgrid::serve {
+
+namespace {
+
+// Substream family tags (DESIGN.md "Serving architecture"): the daemon's
+// request randomness is rooted at stream_seed(seed, tag), so request
+// streams never collide with the engine's sequential draws and a reply is
+// a pure function of (seed, verb, hour, id) — independent of request
+// interleaving and thread count.
+constexpr std::uint64_t kProbeStreamTag = 0x70726f6265ULL;    // "probe"
+constexpr std::uint64_t kDetectStreamTag = 0x646574656374ULL; // "detect"
+
+// Latency histogram bucket upper bounds, microseconds.
+constexpr double kLatencyBucketsUs[5] = {100.0, 1e3, 1e4, 1e5, 1e6};
+
+Json vector_json(const linalg::Vector& v) {
+  Json arr{Json::Array{}};
+  for (std::size_t i = 0; i < v.size(); ++i) arr.push_back(Json(v[i]));
+  return arr;
+}
+
+}  // namespace
+
+grid::DailyLoadTrace default_daemon_trace(const grid::PowerSystem& sys) {
+  const grid::DailyLoadTrace base =
+      grid::DailyLoadTrace::nyiso_winter_weekday();
+  // The NYISO winter-weekday totals were fitted to the IEEE 14-bus
+  // system's 259 MW nominal total; any other case replays the same
+  // relative profile scaled to its own nominal load.
+  constexpr double kCase14NominalMw = 259.0;
+  const double scale = sys.total_load_mw() / kCase14NominalMw;
+  std::vector<double> totals(base.size());
+  for (std::size_t h = 0; h < base.size(); ++h)
+    totals[h] = base.total_mw(h) * scale;
+  return grid::DailyLoadTrace(std::move(totals));
+}
+
+MtdDaemon::MtdDaemon(grid::PowerSystem sys, grid::DailyLoadTrace trace,
+                     DaemonOptions options)
+    : options_(std::move(options)),
+      case_name_(sys.name()),
+      engine_(std::move(sys), std::move(trace), options_.daily),
+      rng_(options_.seed),
+      probe_root_(stats::stream_seed(options_.seed, kProbeStreamTag)),
+      detect_root_(stats::stream_seed(options_.seed, kDetectStreamTag)) {
+  if (options_.history_hours == 0) options_.history_hours = 1;
+  tick();  // key hour 0: the daemon serves immediately after construction
+}
+
+MtdDaemon::MtdDaemon(std::pair<grid::PowerSystem, grid::DailyLoadTrace> loaded,
+                     DaemonOptions options)
+    : MtdDaemon(std::move(loaded.first), std::move(loaded.second),
+                std::move(options)) {}
+
+MtdDaemon::MtdDaemon(const DaemonOptions& options)
+    : MtdDaemon(
+          [&options] {
+            grid::PowerSystem sys = io::load_case(options.case_name);
+            grid::DailyLoadTrace trace = default_daemon_trace(sys);
+            return std::pair(std::move(sys), std::move(trace));
+          }(),
+          options) {
+  case_name_ = options_.case_name;  // report the registry name, not the
+                                    // case file's internal system name
+}
+
+std::size_t MtdDaemon::tick() {
+  std::lock_guard<std::mutex> exec_lock(exec_mutex_);
+  return tick_locked();
+}
+
+std::size_t MtdDaemon::tick_locked() {
+  mtd::DailyHourOutcome outcome = engine_.advance_hour(rng_);
+
+  auto snap = std::make_shared<HourKeySnapshot>();
+  snap->hour = outcome.record.hour;
+  snap->trace_hour = snap->hour % engine_.hours_per_day();
+  snap->record = outcome.record;
+  snap->keyed = outcome.record.feasible;
+  if (snap->keyed) {
+    const auto dfacts = engine_.system().dfacts_branches();
+    snap->setpoints = linalg::Vector(dfacts.size());
+    for (std::size_t k = 0; k < dfacts.size(); ++k)
+      snap->setpoints[k] = outcome.reactances[dfacts[k]];
+    snap->reactances = std::move(outcome.reactances);
+    snap->dispatch = std::move(outcome.dispatch);
+    snap->z_ref = std::move(outcome.z_ref);
+    snap->estimator = std::make_shared<const estimation::StateEstimator>(
+        std::move(outcome.h_mtd), options_.daily.effectiveness.sigma_mw);
+    snap->bdd = std::make_shared<const estimation::BadDataDetector>(
+        *snap->estimator, options_.daily.effectiveness.fp_rate);
+  }
+
+  // Publish: the snapshot swap is the only mutation readers can see, so
+  // a request never observes a half-applied key change.
+  std::lock_guard<std::mutex> state_lock(state_mutex_);
+  history_.push_back(std::move(snap));
+  while (history_.size() > options_.history_hours) history_.pop_front();
+  ++counters_.ticks;
+  return history_.back()->hour;
+}
+
+std::size_t MtdDaemon::current_hour() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return history_.back()->hour;
+}
+
+std::shared_ptr<const HourKeySnapshot> MtdDaemon::current_snapshot() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return history_.back();
+}
+
+std::shared_ptr<const HourKeySnapshot> MtdDaemon::snapshot_at(
+    std::size_t hour) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  for (const auto& snap : history_)
+    if (snap->hour == hour) return snap;
+  return nullptr;
+}
+
+DaemonCounters MtdDaemon::counters() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return counters_;
+}
+
+std::string MtdDaemon::handle_line(const std::string& line) {
+  std::string trimmed = line;
+  while (!trimmed.empty() &&
+         (trimmed.back() == '\r' || trimmed.back() == '\n'))
+    trimmed.pop_back();
+  if (trimmed.find_first_not_of(" \t") == std::string::npos) return "";
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string reply;
+  {
+    std::lock_guard<std::mutex> exec_lock(exec_mutex_);
+    {
+      std::lock_guard<std::mutex> state_lock(state_mutex_);
+      ++counters_.requests;
+    }
+    ParseOutcome outcome = parse_request(trimmed);
+    if (const ProtocolError* err = std::get_if<ProtocolError>(&outcome)) {
+      reply = error_line(*err);
+    } else {
+      reply = handle_request(std::get<Request>(outcome));
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  record_latency(
+      std::chrono::duration<double, std::micro>(t1 - t0).count());
+  return reply;
+}
+
+std::string MtdDaemon::error_line(const ProtocolError& error) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  ++counters_.errors;
+  return error_reply(error);
+}
+
+std::string MtdDaemon::not_keyed_reply(std::size_t hour) {
+  return error_line(
+      {"not-keyed", "hour " + std::to_string(hour) +
+                        " has no active key (selection infeasible)"});
+}
+
+std::string MtdDaemon::handle_request(const Request& req) {
+  switch (req.verb) {
+    case Verb::kDispatch: return reply_dispatch(req);
+    case Verb::kDetect: return reply_detect(req);
+    case Verb::kProbe: return reply_probe(req);
+    case Verb::kStatus: return reply_status(req);
+    case Verb::kMetrics: return reply_metrics(req);
+    case Verb::kTick: return reply_tick(req);
+    case Verb::kShutdown: return reply_shutdown(req);
+  }
+  return error_line({"internal", "unhandled verb"});
+}
+
+std::shared_ptr<const HourKeySnapshot> MtdDaemon::resolve_snapshot(
+    const Request& req, std::string& error) {
+  if (!req.has_hour) return current_snapshot();
+  if (auto snap = snapshot_at(req.hour)) return snap;
+  std::size_t lo = 0, hi = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    lo = history_.front()->hour;
+    hi = history_.back()->hour;
+  }
+  error = error_line(
+      {"bad-hour",
+       "hour " + std::to_string(req.hour) + " is not retained (retained: " +
+           std::to_string(lo) + ".." + std::to_string(hi) + ")"});
+  return nullptr;
+}
+
+std::string MtdDaemon::reply_dispatch(const Request& req) {
+  std::string error;
+  const auto snap = resolve_snapshot(req, error);
+  if (!snap) return error;
+  if (!snap->keyed) return not_keyed_reply(snap->hour);
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.dispatch;
+  }
+  Json reply;
+  reply.set("ok", Json(true));
+  reply.set("op", Json("dispatch"));
+  if (req.has_id) reply.set("id", Json(req.id));
+  reply.set("hour", Json(snap->hour));
+  reply.set("trace_hour", Json(snap->trace_hour));
+  reply.set("gamma_th", Json(snap->record.gamma_threshold));
+  reply.set("spa", Json(snap->record.gamma_ht_hmtd));
+  reply.set("cost", Json(snap->record.mtd_opf_cost));
+  reply.set("base_cost", Json(snap->record.base_opf_cost));
+  reply.set("cost_increase_pct", Json(snap->record.cost_increase_pct));
+  Json branches{Json::Array{}};
+  for (const std::size_t b : engine_.system().dfacts_branches())
+    branches.push_back(Json(b));
+  reply.set("branches", std::move(branches));
+  reply.set("setpoints", vector_json(snap->setpoints));
+  return reply.dump();
+}
+
+std::string MtdDaemon::reply_detect(const Request& req) {
+  std::string error;
+  const auto snap = resolve_snapshot(req, error);
+  if (!snap) return error;
+  if (!snap->keyed) return not_keyed_reply(snap->hour);
+  const linalg::Vector& z = req.has_z ? req.z : snap->z_ref;
+  if (z.size() != snap->estimator->num_measurements())
+    return error_line(
+        {"bad-request",
+         "\"z\" must have " +
+             std::to_string(snap->estimator->num_measurements()) +
+             " entries (order: L forward flows, L reverse flows, N "
+             "injections; MW)"});
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.detect;
+  }
+  const double residual = snap->estimator->normalized_residual_norm(z);
+  Json reply;
+  reply.set("ok", Json(true));
+  reply.set("op", Json("detect"));
+  if (req.has_id) reply.set("id", Json(req.id));
+  reply.set("hour", Json(snap->hour));
+  reply.set("alarm", Json(snap->bdd->alarm(residual)));
+  reply.set("residual", Json(residual));
+  reply.set("tau", Json(snap->bdd->threshold()));
+  reply.set("dof", Json(snap->bdd->dof()));
+  if (req.method != DetectMethod::kBdd) {
+    // Score the *implied deviation* a = z - z_ref: how reliably would the
+    // detector catch this exact injection across noise realizations.
+    linalg::Vector a = z;
+    a -= snap->z_ref;
+    double p_detect = 0.0;
+    if (req.method == DetectMethod::kAnalytic) {
+      p_detect = estimation::analytic_detection_probability(
+          *snap->estimator, *snap->bdd, a);
+      reply.set("method", Json("analytic"));
+    } else {
+      // Per-request substream: a pure function of (seed, hour, id), so
+      // the reply does not depend on request interleaving, other
+      // requests, or the thread count.
+      const std::uint64_t root = stats::stream_seed(
+          stats::stream_seed(detect_root_, snap->hour), req.id);
+      p_detect = estimation::monte_carlo_detection_probability_seeded(
+          *snap->estimator, *snap->bdd, snap->z_ref, a, req.trials, root);
+      reply.set("method", Json("mc"));
+      reply.set("trials", Json(req.trials));
+    }
+    reply.set("p_detect", Json(p_detect));
+  }
+  return reply.dump();
+}
+
+std::string MtdDaemon::reply_probe(const Request& req) {
+  std::string error;
+  const auto snap = resolve_snapshot(req, error);
+  if (!snap) return error;
+  if (!snap->keyed) return not_keyed_reply(snap->hour);
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.probe;
+  }
+  // Attack-free sample on the request's own substream (pure function of
+  // (seed, hour, id)): z = z_ref + sigma * N(0, I).
+  stats::Rng stream = stats::make_stream(
+      stats::stream_seed(probe_root_, snap->hour), req.id);
+  const double sigma = options_.daily.effectiveness.sigma_mw;
+  linalg::Vector z = snap->z_ref;
+  for (std::size_t i = 0; i < z.size(); ++i) z[i] += stream.gaussian() * sigma;
+  const double residual = snap->estimator->normalized_residual_norm(z);
+  Json reply;
+  reply.set("ok", Json(true));
+  reply.set("op", Json("probe"));
+  if (req.has_id) reply.set("id", Json(req.id));
+  reply.set("hour", Json(snap->hour));
+  reply.set("alarm", Json(snap->bdd->alarm(residual)));
+  reply.set("residual", Json(residual));
+  reply.set("z", vector_json(z));
+  return reply.dump();
+}
+
+std::string MtdDaemon::reply_status(const Request& req) {
+  std::string error;
+  const auto snap = resolve_snapshot(req, error);
+  if (!snap) return error;
+  std::size_t retained_lo = 0, retained_hi = 0, ticks = 0, requests = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.status;
+    retained_lo = history_.front()->hour;
+    retained_hi = history_.back()->hour;
+    ticks = counters_.ticks;
+    requests = counters_.requests;
+  }
+  Json reply;
+  reply.set("ok", Json(true));
+  reply.set("op", Json("status"));
+  if (req.has_id) reply.set("id", Json(req.id));
+  reply.set("case", Json(case_name_));
+  reply.set("hour", Json(snap->hour));
+  reply.set("trace_hour", Json(snap->trace_hour));
+  reply.set("hours_per_day", Json(engine_.hours_per_day()));
+  reply.set("keyed", Json(snap->keyed));
+  reply.set("gamma_th", Json(snap->record.gamma_threshold));
+  reply.set("eta", Json(snap->record.eta_at_target));
+  reply.set("spa", Json(snap->record.gamma_ht_hmtd));
+  reply.set("cost_increase_pct", Json(snap->record.cost_increase_pct));
+  reply.set("load_mw", Json(snap->record.total_load_mw));
+  Json retained{Json::Array{}};
+  retained.push_back(Json(retained_lo));
+  retained.push_back(Json(retained_hi));
+  reply.set("retained", std::move(retained));
+  reply.set("ticks", Json(ticks));
+  reply.set("requests", Json(requests));
+  return reply.dump();
+}
+
+std::string MtdDaemon::reply_metrics(const Request& req) {
+  DaemonCounters c;
+  std::uint64_t lat_count = 0, buckets[6];
+  double lat_sum = 0.0, lat_max = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.metrics;
+    c = counters_;
+    lat_count = latency_count_;
+    lat_sum = latency_sum_us_;
+    lat_max = latency_max_us_;
+    for (int i = 0; i < 6; ++i) buckets[i] = latency_buckets_[i];
+  }
+  Json reply;
+  reply.set("ok", Json(true));
+  reply.set("op", Json("metrics"));
+  if (req.has_id) reply.set("id", Json(req.id));
+  reply.set("requests", Json(c.requests));
+  reply.set("errors", Json(c.errors));
+  reply.set("ticks", Json(c.ticks));
+  reply.set("dispatch", Json(c.dispatch));
+  reply.set("detect", Json(c.detect));
+  reply.set("probe", Json(c.probe));
+  reply.set("status", Json(c.status));
+  reply.set("metrics", Json(c.metrics));
+  if (req.include_latency) {
+    // The one non-deterministic reply section, opt-in so that default
+    // metrics replies stay byte-comparable across runs and thread counts.
+    Json latency;
+    latency.set("count", Json(lat_count));
+    latency.set("mean_us",
+                Json(lat_count > 0 ? lat_sum / static_cast<double>(lat_count)
+                                   : 0.0));
+    latency.set("max_us", Json(lat_max));
+    Json hist;
+    static const char* const kNames[6] = {"le_100us", "le_1ms",   "le_10ms",
+                                          "le_100ms", "le_1s",    "gt_1s"};
+    for (int i = 0; i < 6; ++i) hist.set(kNames[i], Json(buckets[i]));
+    latency.set("buckets", std::move(hist));
+    reply.set("latency_us", std::move(latency));
+  }
+  return reply.dump();
+}
+
+std::string MtdDaemon::reply_tick(const Request& req) {
+  tick_locked();  // exec lock already held by handle_line
+  const auto snap = current_snapshot();
+  Json reply;
+  reply.set("ok", Json(true));
+  reply.set("op", Json("tick"));
+  if (req.has_id) reply.set("id", Json(req.id));
+  reply.set("hour", Json(snap->hour));
+  reply.set("trace_hour", Json(snap->trace_hour));
+  reply.set("keyed", Json(snap->keyed));
+  reply.set("gamma_th", Json(snap->record.gamma_threshold));
+  reply.set("eta", Json(snap->record.eta_at_target));
+  reply.set("load_mw", Json(snap->record.total_load_mw));
+  return reply.dump();
+}
+
+std::string MtdDaemon::reply_shutdown(const Request& req) {
+  request_shutdown();
+  Json reply;
+  reply.set("ok", Json(true));
+  reply.set("op", Json("shutdown"));
+  if (req.has_id) reply.set("id", Json(req.id));
+  return reply.dump();
+}
+
+void MtdDaemon::record_latency(double micros) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  ++latency_count_;
+  latency_sum_us_ += micros;
+  if (micros > latency_max_us_) latency_max_us_ = micros;
+  int bucket = 5;
+  for (int i = 0; i < 5; ++i) {
+    if (micros <= kLatencyBucketsUs[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++latency_buckets_[bucket];
+}
+
+}  // namespace mtdgrid::serve

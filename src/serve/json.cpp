@@ -1,0 +1,404 @@
+#include "serve/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mtdgrid::serve {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want, Json::Type got) {
+  static const char* const names[] = {"null",   "bool",  "number",
+                                      "string", "array", "object"};
+  throw JsonError(std::string("expected ") + want + ", got " +
+                  names[static_cast<int>(got)]);
+}
+
+/// Recursive-descent parser over a byte range. Offsets in errors are
+/// 0-based positions into the original text.
+class Parser {
+ public:
+  Parser(const char* begin, const char* end) : cur_(begin), begin_(begin),
+                                               end_(end) {}
+
+  Json parse_document() {
+    skip_ws();
+    Json v = parse_value(0);
+    skip_ws();
+    if (cur_ != end_) fail("trailing characters after value");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    const std::size_t offset = static_cast<std::size_t>(cur_ - begin_);
+    throw JsonError(what + " at offset " + std::to_string(offset), offset);
+  }
+
+  void skip_ws() {
+    while (cur_ != end_ && (*cur_ == ' ' || *cur_ == '\t' || *cur_ == '\n' ||
+                            *cur_ == '\r'))
+      ++cur_;
+  }
+
+  char peek() const { return cur_ != end_ ? *cur_ : '\0'; }
+
+  void expect(char c) {
+    if (cur_ == end_ || *cur_ != c)
+      fail(std::string("expected '") + c + "'");
+    ++cur_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const char* p = cur_;
+    while (*lit != '\0') {
+      if (p == end_ || *p != *lit) return false;
+      ++p;
+      ++lit;
+    }
+    cur_ = p;
+    return true;
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    if (cur_ == end_) fail("unexpected end of input");
+    switch (peek()) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Json();
+        fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object(int depth) {
+    expect('{');
+    Json::Object members;
+    skip_ws();
+    if (peek() == '}') {
+      ++cur_;
+      return Json(std::move(members));
+    }
+    for (;;) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++cur_;
+        continue;
+      }
+      expect('}');
+      return Json(std::move(members));
+    }
+  }
+
+  Json parse_array(int depth) {
+    expect('[');
+    Json::Array values;
+    skip_ws();
+    if (peek() == ']') {
+      ++cur_;
+      return Json(std::move(values));
+    }
+    for (;;) {
+      skip_ws();
+      values.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++cur_;
+        continue;
+      }
+      expect(']');
+      return Json(std::move(values));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (cur_ == end_) fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(*cur_);
+      if (c == '"') {
+        ++cur_;
+        return out;
+      }
+      if (c < 0x20) fail("control character in string");
+      if (c == '\\') {
+        ++cur_;
+        if (cur_ == end_) fail("unterminated escape");
+        switch (*cur_) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            unsigned cp = parse_hex4();
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: require the paired low surrogate.
+              if (end_ - cur_ < 7 || cur_[1] != '\\' || cur_[2] != 'u')
+                fail("unpaired surrogate");
+              cur_ += 2;
+              const unsigned lo = parse_hex4();
+              if (lo < 0xDC00 || lo > 0xDFFF) fail("unpaired surrogate");
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              fail("unpaired surrogate");
+            }
+            append_utf8(out, cp);
+            break;
+          }
+          default:
+            fail("invalid escape");
+        }
+        ++cur_;
+        continue;
+      }
+      out += static_cast<char>(c);
+      ++cur_;
+    }
+  }
+
+  unsigned parse_hex4() {
+    // Called with cur_ on the 'u'; leaves cur_ on the last hex digit.
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      ++cur_;
+      if (cur_ == end_) fail("unterminated escape");
+      const char c = *cur_;
+      value <<= 4;
+      if (c >= '0' && c <= '9')
+        value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      else
+        fail("invalid \\u escape");
+    }
+    return value;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Json parse_number() {
+    const char* start = cur_;
+    if (peek() == '-') ++cur_;
+    if (cur_ == end_ || *cur_ < '0' || *cur_ > '9') {
+      cur_ = start;
+      fail("invalid value");
+    }
+    // RFC 8259 integer part: "0" or a nonzero digit followed by digits —
+    // no leading zeros (a request that relies on them would break
+    // against any conforming peer).
+    if (*cur_ == '0') {
+      ++cur_;
+      if (cur_ != end_ && *cur_ >= '0' && *cur_ <= '9')
+        fail("leading zeros are not allowed");
+    } else {
+      while (cur_ != end_ && *cur_ >= '0' && *cur_ <= '9') ++cur_;
+    }
+    if (peek() == '.') {
+      ++cur_;
+      if (cur_ == end_ || *cur_ < '0' || *cur_ > '9')
+        fail("digit expected after decimal point");
+      while (cur_ != end_ && *cur_ >= '0' && *cur_ <= '9') ++cur_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++cur_;
+      if (peek() == '+' || peek() == '-') ++cur_;
+      if (cur_ == end_ || *cur_ < '0' || *cur_ > '9')
+        fail("digit expected in exponent");
+      while (cur_ != end_ && *cur_ >= '0' && *cur_ <= '9') ++cur_;
+    }
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(start, cur_, value);
+    if (ec != std::errc() || ptr != cur_) {
+      cur_ = start;
+      fail("number out of range");
+    }
+    return Json(value);
+  }
+
+  const char* cur_;
+  const char* begin_;
+  const char* end_;
+};
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no NaN/Inf; the protocol never emits them
+    return;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;  // 32 bytes always suffice for shortest-round-trip doubles
+  out.append(buf, ptr);
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_);
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_);
+  return string_;
+}
+
+const Json::Array& Json::as_array() const {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return array_;
+}
+
+const Json::Object& Json::as_object() const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return object_;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const Member& m : object_)
+    if (m.first == key) return &m.second;
+  return nullptr;
+}
+
+void Json::push_back(Json value) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  if (type_ != Type::kArray) type_error("array", type_);
+  array_.push_back(std::move(value));
+}
+
+void Json::set(std::string key, Json value) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  if (type_ != Type::kObject) type_error("object", type_);
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+void Json::dump_to(std::string& out) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      append_number(out, number_);
+      break;
+    case Type::kString:
+      append_escaped(out, string_);
+      break;
+    case Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Json& v : array_) {
+        if (!first) out += ',';
+        first = false;
+        v.dump_to(out);
+      }
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const Member& m : object_) {
+        if (!first) out += ',';
+        first = false;
+        append_escaped(out, m.first);
+        out += ':';
+        m.second.dump_to(out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+Json Json::parse(const std::string& text) {
+  Parser parser(text.data(), text.data() + text.size());
+  return parser.parse_document();
+}
+
+}  // namespace mtdgrid::serve

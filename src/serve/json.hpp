@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mtdgrid::serve {
+
+/// Thrown by `Json::parse` on malformed input and by the typed accessors
+/// on a type mismatch. For parse failures `offset()` is the 0-based byte
+/// position of the first offending character, and `what()` embeds it as
+/// "... at offset N" — the daemon copies that text verbatim into its
+/// pinned `"error":"parse"` replies.
+class JsonError : public std::runtime_error {
+ public:
+  /// Builds the error with its message and (for parse errors) offset.
+  explicit JsonError(const std::string& message, std::size_t offset = 0)
+      : std::runtime_error(message), offset_(offset) {}
+
+  /// 0-based byte offset of the parse failure (0 for accessor misuse).
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// A JSON value: the minimal tree type behind the daemon's
+/// newline-delimited wire protocol (DESIGN.md "Serving architecture").
+///
+/// Scope is deliberately small — what one protocol line needs and nothing
+/// more: objects keep insertion order (replies serialize with a stable
+/// field order, which is what makes transcripts byte-comparable), numbers
+/// are IEEE doubles serialized in shortest-round-trip form, and `parse`
+/// rejects trailing garbage, so a request line is exactly one value.
+class Json {
+ public:
+  /// Discriminates the stored value kind.
+  enum class Type {
+    kNull,    ///< JSON null
+    kBool,    ///< true / false
+    kNumber,  ///< IEEE double
+    kString,  ///< UTF-8 string
+    kArray,   ///< ordered values
+    kObject,  ///< insertion-ordered members
+  };
+
+  /// Array storage: values in order.
+  using Array = std::vector<Json>;
+  /// One object member (key, value).
+  using Member = std::pair<std::string, Json>;
+  /// Object storage: members in insertion order (no key dedup on parse;
+  /// `find` returns the first match, mirroring common NDJSON practice).
+  using Object = std::vector<Member>;
+
+  /// Null value.
+  Json() = default;
+  /// Boolean value.
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  /// Number value (any finite double; non-finite serializes as null).
+  Json(double v) : type_(Type::kNumber), number_(v) {}
+  /// Number value from an integer (exact up to 2^53).
+  Json(int v) : type_(Type::kNumber), number_(v) {}
+  /// Number value from an unsigned count (exact up to 2^53). Both width
+  /// overloads exist — they are always distinct types — so
+  /// `std::size_t` and `std::uint64_t` arguments resolve unambiguously
+  /// on every ABI, whichever of the two each maps to.
+  Json(unsigned long v)
+      : type_(Type::kNumber), number_(static_cast<double>(v)) {}
+  /// Number value from a 64-bit count (exact up to 2^53).
+  Json(unsigned long long v)
+      : type_(Type::kNumber), number_(static_cast<double>(v)) {}
+  /// String value.
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  /// String value from a literal.
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  /// Array value.
+  Json(Array a) : type_(Type::kArray), array_(std::move(a)) {}
+  /// Object value.
+  Json(Object o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  /// The stored kind.
+  Type type() const { return type_; }
+  /// True for a null value.
+  bool is_null() const { return type_ == Type::kNull; }
+  /// True for a boolean value.
+  bool is_bool() const { return type_ == Type::kBool; }
+  /// True for a number value.
+  bool is_number() const { return type_ == Type::kNumber; }
+  /// True for a string value.
+  bool is_string() const { return type_ == Type::kString; }
+  /// True for an array value.
+  bool is_array() const { return type_ == Type::kArray; }
+  /// True for an object value.
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// The boolean payload; throws JsonError if not a bool.
+  bool as_bool() const;
+  /// The number payload; throws JsonError if not a number.
+  double as_number() const;
+  /// The string payload; throws JsonError if not a string.
+  const std::string& as_string() const;
+  /// The array payload; throws JsonError if not an array.
+  const Array& as_array() const;
+  /// The object payload; throws JsonError if not an object.
+  const Object& as_object() const;
+
+  /// First member named `key` of an object, or nullptr when absent (or
+  /// when this value is not an object) — the lookup protocol code uses
+  /// for optional request fields.
+  const Json* find(const std::string& key) const;
+
+  /// Appends `value` to an array (the value must be an array or null; a
+  /// null silently becomes an empty array first).
+  void push_back(Json value);
+
+  /// Appends member (`key`, `value`) to an object (object or null, as
+  /// with `push_back`). Keys are not deduplicated; reply builders append
+  /// each key once, in the documented field order.
+  void set(std::string key, Json value);
+
+  /// Serializes compactly (no whitespace). Doubles use shortest
+  /// round-trip formatting (`std::to_chars`), so dump/parse is lossless
+  /// and — critical for the daemon's transcript tests — byte-stable.
+  std::string dump() const;
+
+  /// Parses exactly one JSON value from `text` (leading/trailing ASCII
+  /// whitespace allowed, nothing else). Throws JsonError with a 0-based
+  /// offset on malformed input, unsupported escapes, numbers outside
+  /// double range, or nesting deeper than 64 levels.
+  static Json parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace mtdgrid::serve

@@ -1,0 +1,133 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+
+namespace mtdgrid::serve {
+
+namespace {
+
+/// True when `v` is a JSON number holding an exact non-negative integer
+/// representable in 53 bits; writes it to `out`.
+bool as_nonneg_integer(const Json& v, std::uint64_t& out) {
+  if (!v.is_number()) return false;
+  const double d = v.as_number();
+  if (!(d >= 0.0) || d > 9007199254740992.0 || std::floor(d) != d)
+    return false;
+  out = static_cast<std::uint64_t>(d);
+  return true;
+}
+
+ProtocolError bad_request(std::string message) {
+  return ProtocolError{"bad-request", std::move(message)};
+}
+
+}  // namespace
+
+const char* verb_name(Verb verb) {
+  switch (verb) {
+    case Verb::kDispatch: return "dispatch";
+    case Verb::kDetect: return "detect";
+    case Verb::kProbe: return "probe";
+    case Verb::kStatus: return "status";
+    case Verb::kMetrics: return "metrics";
+    case Verb::kTick: return "tick";
+    case Verb::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+std::string error_reply(const ProtocolError& error) {
+  Json reply;
+  reply.set("ok", Json(false));
+  reply.set("error", Json(error.code));
+  reply.set("message", Json(error.message));
+  return reply.dump();
+}
+
+ParseOutcome parse_request(const std::string& line) {
+  Json doc;
+  try {
+    doc = Json::parse(line);
+  } catch (const JsonError& e) {
+    return ProtocolError{"parse", std::string("invalid JSON: ") + e.what()};
+  }
+  if (!doc.is_object())
+    return bad_request("request must be a JSON object");
+
+  const Json* op = doc.find("op");
+  if (op == nullptr) return bad_request("missing \"op\"");
+  if (!op->is_string()) return bad_request("\"op\" must be a string");
+
+  Request req;
+  const std::string& name = op->as_string();
+  if (name == "dispatch")
+    req.verb = Verb::kDispatch;
+  else if (name == "detect")
+    req.verb = Verb::kDetect;
+  else if (name == "probe")
+    req.verb = Verb::kProbe;
+  else if (name == "status")
+    req.verb = Verb::kStatus;
+  else if (name == "metrics")
+    req.verb = Verb::kMetrics;
+  else if (name == "tick")
+    req.verb = Verb::kTick;
+  else if (name == "shutdown")
+    req.verb = Verb::kShutdown;
+  else
+    return ProtocolError{"unknown-op", "unknown op \"" + name + "\""};
+
+  if (const Json* id = doc.find("id"); id != nullptr) {
+    if (!as_nonneg_integer(*id, req.id))
+      return bad_request("\"id\" must be a non-negative integer");
+    req.has_id = true;
+  }
+  if (const Json* hour = doc.find("hour"); hour != nullptr) {
+    std::uint64_t h = 0;
+    if (!as_nonneg_integer(*hour, h))
+      return bad_request("\"hour\" must be a non-negative integer");
+    req.has_hour = true;
+    req.hour = static_cast<std::size_t>(h);
+  }
+  if (const Json* z = doc.find("z"); z != nullptr && !z->is_null()) {
+    if (!z->is_array())
+      return bad_request("\"z\" must be an array of numbers");
+    const Json::Array& values = z->as_array();
+    req.z = linalg::Vector(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (!values[i].is_number())
+        return bad_request("\"z\" must be an array of numbers");
+      req.z[i] = values[i].as_number();
+    }
+    req.has_z = true;
+  }
+  if (const Json* method = doc.find("method"); method != nullptr) {
+    if (!method->is_string())
+      return bad_request(
+          "\"method\" must be \"bdd\", \"analytic\" or \"mc\"");
+    const std::string& m = method->as_string();
+    if (m == "bdd")
+      req.method = DetectMethod::kBdd;
+    else if (m == "analytic")
+      req.method = DetectMethod::kAnalytic;
+    else if (m == "mc")
+      req.method = DetectMethod::kMonteCarlo;
+    else
+      return bad_request(
+          "\"method\" must be \"bdd\", \"analytic\" or \"mc\"");
+  }
+  if (const Json* trials = doc.find("trials"); trials != nullptr) {
+    std::uint64_t t = 0;
+    if (!as_nonneg_integer(*trials, t) || t < 1 || t > 1000000)
+      return bad_request("\"trials\" must be an integer in [1, 1000000]");
+    req.trials = static_cast<int>(t);
+  }
+  if (const Json* latency = doc.find("latency"); latency != nullptr) {
+    if (!latency->is_bool())
+      return bad_request("\"latency\" must be a boolean");
+    req.include_latency = latency->as_bool();
+  }
+  return req;
+}
+
+}  // namespace mtdgrid::serve

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "linalg/vector.hpp"
+#include "serve/json.hpp"
+
+namespace mtdgrid::serve {
+
+/// The request verbs of the daemon's wire protocol (grammar and one
+/// worked request/reply example per verb in DESIGN.md "Serving
+/// architecture").
+enum class Verb {
+  kDispatch,  ///< current setpoints + OPF cost of an hour
+  kDetect,    ///< BDD/chi-square verdict for a measurement vector
+  kProbe,     ///< attack-free noisy sample drawn from a request substream
+  kStatus,    ///< hour, key parameters, retention window
+  kMetrics,   ///< request counters (+ latency histogram on demand)
+  kTick,      ///< advance the virtual clock one hour (re-key)
+  kShutdown,  ///< stop serving after this reply
+};
+
+/// How `detect` scores the submitted measurement vector beyond the plain
+/// BDD verdict.
+enum class DetectMethod {
+  kBdd,         ///< residual + alarm only (default)
+  kAnalytic,    ///< + exact noncentral-chi-square detection probability
+  kMonteCarlo,  ///< + Monte-Carlo probability on a per-request substream
+};
+
+/// A parsed and field-validated request line. Field semantics (all
+/// optional unless noted): `id` is echoed in the reply and selects the
+/// request's RNG substream; `hour` pins the virtual-clock hour served
+/// (default: current); `z` is the measurement vector for `detect`
+/// (default: the hour's noiseless reference); `trials` sizes the
+/// Monte-Carlo method; `include_latency` asks `metrics` for the (non-
+/// deterministic) latency histogram.
+struct Request {
+  Verb verb = Verb::kStatus;      ///< the request verb
+  bool has_id = false;            ///< true when the line carried "id"
+  std::uint64_t id = 0;           ///< request id (substream selector)
+  bool has_hour = false;          ///< true when the line carried "hour"
+  std::size_t hour = 0;           ///< pinned virtual-clock hour
+  bool has_z = false;             ///< true when the line carried "z"
+  linalg::Vector z;               ///< submitted measurement vector (MW)
+  DetectMethod method = DetectMethod::kBdd;  ///< detect scoring method
+  int trials = 400;               ///< Monte-Carlo noise draws
+  bool include_latency = false;   ///< metrics: include latency histogram
+};
+
+/// A protocol-level failure: the pinned machine-readable `code` (one of
+/// "parse", "bad-request", "unknown-op", "bad-hour", "not-keyed",
+/// "internal") plus a human-readable message. Serialized by
+/// `error_reply`; the exact strings are part of the wire contract and
+/// pinned by tests/serve/protocol conventions.
+struct ProtocolError {
+  std::string code;     ///< pinned error code
+  std::string message;  ///< human-readable detail
+};
+
+/// Result of `parse_request`: a validated Request or the error to send.
+using ParseOutcome = std::variant<Request, ProtocolError>;
+
+/// Parses one request line: JSON object with a string `"op"` naming the
+/// verb, plus the verb's optional fields. Unknown object keys are
+/// ignored (forward compatibility); malformed JSON, a non-object line,
+/// a missing/unknown op, and ill-typed fields return the corresponding
+/// ProtocolError instead of throwing.
+ParseOutcome parse_request(const std::string& line);
+
+/// The wire name of a verb ("dispatch", "detect", ...).
+const char* verb_name(Verb verb);
+
+/// Serializes an error reply line: `{"ok":false,"error":CODE,
+/// "message":MESSAGE}` (no trailing newline — the transport adds it).
+std::string error_reply(const ProtocolError& error);
+
+}  // namespace mtdgrid::serve

@@ -1,0 +1,194 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace mtdgrid::serve {
+
+namespace {
+
+/// Longest accepted request line (bytes). A case300 `detect` vector is
+/// ~30 KB, so 4 MB leaves two orders of magnitude of headroom; anything
+/// longer is treated as a protocol violation and the connection closes.
+constexpr std::size_t kMaxLineBytes = 4u << 20;
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(MtdDaemon& daemon, std::uint16_t port)
+    : daemon_(daemon) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    const std::string what =
+        "bind 127.0.0.1:" + std::to_string(port) + ": " +
+        std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(what);
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    const std::string what = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(what);
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::reap_finished_locked() {
+  // Join and drop connections whose serving thread has finished (`done`
+  // is set under mutex_ right before the thread function returns, so the
+  // join here waits at most for that return). Without this, a long-lived
+  // daemon would accumulate one std::thread per past client.
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load()) {
+      (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SocketServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd < 0) {
+      if (stopping_) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listener gone — stop accepting
+    }
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    reap_finished_locked();
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    connections_.push_back(std::move(conn));
+    raw->thread = std::thread([this, raw] { serve_connection(raw); });
+  }
+}
+
+void SocketServer::serve_connection(Connection* conn) {
+  const int fd = conn->fd;
+  std::string buffer;
+  char chunk[4096];
+  bool peer_gone = false;
+  while (!peer_gone) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;  // client closed, error, or stop() shut us down
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      const std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      const std::string reply = daemon_.handle_line(line);
+      if (!reply.empty() && !send_all(fd, reply + "\n")) {
+        // A peer that can no longer receive replies must not keep
+        // driving state-mutating verbs: drop the whole connection.
+        peer_gone = true;
+        break;
+      }
+      if (daemon_.shutdown_requested()) {
+        // Wake wait(); teardown happens there (or in the destructor) —
+        // this thread cannot join itself.
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_seen_ = true;
+        cv_.notify_all();
+      }
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > kMaxLineBytes) break;  // unbounded line: drop peer
+  }
+  // The serving thread owns its fd: close it here, under the lock so
+  // stop() never calls shutdown() on an fd number the kernel may already
+  // have recycled. `done` makes the connection reapable.
+  std::lock_guard<std::mutex> lock(mutex_);
+  ::close(conn->fd);
+  conn->fd = -1;
+  conn->done.store(true);
+}
+
+void SocketServer::wait() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return shutdown_seen_ || stopping_; });
+  }
+  stop();
+}
+
+void SocketServer::stop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_) {
+    // Another thread is (or finished) tearing down: block until it is
+    // fully done so every stop()/wait() caller gets the documented
+    // "server is fully stopped" postcondition.
+    cv_.wait(lock, [this] { return stopped_; });
+    return;
+  }
+  stopping_ = true;
+  cv_.notify_all();
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);  // unblock accept
+  for (const auto& conn : connections_)
+    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);  // unblock recv
+
+  lock.unlock();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // No new connections can appear now; joining releases the serving
+  // threads, each of which closes its own fd on the way out.
+  lock.lock();
+  std::vector<std::unique_ptr<Connection>> to_join;
+  to_join.swap(connections_);
+  lock.unlock();
+  for (const auto& conn : to_join)
+    if (conn->thread.joinable()) conn->thread.join();
+
+  lock.lock();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  stopped_ = true;
+  cv_.notify_all();
+}
+
+}  // namespace mtdgrid::serve

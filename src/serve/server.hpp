@@ -1,0 +1,81 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/daemon.hpp"
+
+namespace mtdgrid::serve {
+
+/// Loopback TCP transport for `MtdDaemon`'s newline-delimited-JSON
+/// protocol: listens on 127.0.0.1, accepts any number of concurrent
+/// connections, and for every received line sends back
+/// `daemon.handle_line(line)` plus a newline. Requests from all
+/// connections funnel into the daemon, which serializes execution (see
+/// `MtdDaemon`); per connection, replies come back in request order.
+///
+/// Lifecycle: the constructor binds and starts accepting (throwing
+/// std::runtime_error on bind failure); `wait()` blocks until a client
+/// sends the `shutdown` verb or another thread calls `stop()`; the
+/// destructor stops and joins everything. Malformed lines produce pinned
+/// error replies and leave the connection open — only client close,
+/// `stop()`, or shutdown ends it.
+class SocketServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned, see `port()`) and
+  /// starts the accept loop.
+  SocketServer(MtdDaemon& daemon, std::uint16_t port);
+
+  /// Stops and joins all threads.
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// The actual listening port (resolves port 0 to the assigned one).
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks until the daemon was asked to shut down (by the `shutdown`
+  /// verb or `stop()`), then tears the transport down. Returns once the
+  /// server is fully stopped.
+  void wait();
+
+  /// Initiates teardown from any thread: unblocks `wait()`, closes the
+  /// listener and every connection, and joins the worker threads.
+  /// Idempotent.
+  void stop();
+
+ private:
+  /// One live client connection: the fd (owned and closed by the serving
+  /// thread, -1 once closed) and the thread serving it. `done` flips when
+  /// the thread is about to return, letting the accept loop reap finished
+  /// connections so a long-lived daemon does not accumulate fds/threads.
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void serve_connection(Connection* conn);
+  void reap_finished_locked();
+
+  MtdDaemon& daemon_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool shutdown_seen_ = false;   // a connection handled the shutdown verb
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::thread accept_thread_;
+};
+
+}  // namespace mtdgrid::serve

@@ -85,6 +85,70 @@ TEST(DailyTest, RejectsEmptyGammaGrid) {
   opt.gamma_grid.clear();
   EXPECT_THROW(run_daily_simulation(sys, trace, opt, rng),
                std::invalid_argument);
+  EXPECT_THROW(DailyEngine(sys, trace, opt), std::invalid_argument);
+}
+
+DailySimulationOptions engine_options() {
+  DailySimulationOptions opt;
+  opt.effectiveness.num_attacks = 40;
+  opt.selection.extra_starts = 1;
+  opt.selection.search.max_evaluations = 150;
+  opt.base_search_evaluations = 120;
+  opt.gamma_grid = {0.05, 0.15};
+  return opt;
+}
+
+TEST(DailyEngineTest, AdvanceHourReproducesRunDailySimulationBitExact) {
+  // The wrapper and 24 explicit advance_hour calls must be the same
+  // computation: exact == on every record field and on the rng state
+  // afterwards (the engine consumes the caller's draws identically).
+  const grid::PowerSystem sys = grid::make_case_ieee14();
+  const grid::DailyLoadTrace trace =
+      grid::DailyLoadTrace::nyiso_winter_weekday();
+  const DailySimulationOptions opt = engine_options();
+  stats::Rng rng_wrapper(21), rng_engine(21);
+  const auto records = run_daily_simulation(sys, trace, opt, rng_wrapper);
+  ASSERT_EQ(records.size(), 24u);
+
+  DailyEngine engine(sys, trace, opt);
+  EXPECT_EQ(engine.hours_per_day(), 24u);
+  for (std::size_t h = 0; h < 24; ++h) {
+    ASSERT_EQ(engine.next_hour(), h);
+    const DailyHourOutcome out = engine.advance_hour(rng_engine);
+    const HourlyRecord& want = records[h];
+    const HourlyRecord& got = out.record;
+    EXPECT_EQ(got.hour, want.hour);
+    EXPECT_EQ(got.feasible, want.feasible);
+    EXPECT_EQ(got.total_load_mw, want.total_load_mw);
+    EXPECT_EQ(got.base_opf_cost, want.base_opf_cost);
+    EXPECT_EQ(got.mtd_opf_cost, want.mtd_opf_cost);
+    EXPECT_EQ(got.cost_increase_pct, want.cost_increase_pct);
+    EXPECT_EQ(got.gamma_threshold, want.gamma_threshold);
+    EXPECT_EQ(got.gamma_ht_htp, want.gamma_ht_htp);
+    EXPECT_EQ(got.gamma_ht_hmtd, want.gamma_ht_hmtd);
+    EXPECT_EQ(got.gamma_htp_hmtd, want.gamma_htp_hmtd);
+    EXPECT_EQ(got.eta_at_target, want.eta_at_target);
+
+    // The outcome carries the operational state the serving layer needs.
+    if (got.feasible) {
+      const std::size_t L = sys.num_branches();
+      ASSERT_EQ(out.reactances.size(), L);
+      EXPECT_TRUE(sys.reactances_within_limits(out.reactances));
+      ASSERT_EQ(out.h_mtd.rows(), 2 * L + sys.num_buses());
+      ASSERT_EQ(out.h_mtd.cols(), sys.num_buses() - 1);
+      ASSERT_EQ(out.z_ref.size(), out.h_mtd.rows());
+      EXPECT_TRUE(out.dispatch.feasible);
+    }
+  }
+  // Both generators must sit at the same stream position afterwards.
+  EXPECT_EQ(rng_wrapper.next_u64(), rng_engine.next_u64());
+
+  // The virtual clock keeps going past midnight: hour 24 replays trace
+  // hour 0 with the warm-start state carried across the day boundary.
+  const DailyHourOutcome wrapped = engine.advance_hour(rng_engine);
+  EXPECT_EQ(wrapped.record.hour, 24u);
+  EXPECT_EQ(wrapped.record.total_load_mw, trace.total_mw(0));
+  EXPECT_TRUE(wrapped.record.feasible);
 }
 
 }  // namespace

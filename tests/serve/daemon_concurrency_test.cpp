@@ -1,0 +1,87 @@
+// Thread-count invariance and race behavior of the serving daemon —
+// registered in MTDGRID_CONCURRENCY_TESTS (ctest `concurrency` label), so
+// the TSan CI leg runs every test here. CONTRIBUTING.md "Determinism
+// rules for new code" is the contract being enforced.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "serve/daemon.hpp"
+#include "serve_test_util.hpp"
+
+namespace mtdgrid::serve {
+namespace {
+
+/// The acceptance-criterion test: one request script, two daemons built
+/// and served under different global thread counts, byte-identical
+/// transcripts (the construction-time hour-0 re-key included).
+TEST(ServeDaemonDeterminismTest, TranscriptsAreByteIdenticalAcrossThreads) {
+  const std::vector<std::string> script = {
+      R"({"op":"status"})",
+      R"({"op":"dispatch","id":1})",
+      R"({"op":"probe","id":2})",
+      R"({"op":"detect","id":3,"method":"analytic"})",
+      R"({"op":"detect","id":4,"method":"mc","trials":150})",
+      R"({"op":"tick"})",
+      R"({"op":"status"})",
+      R"({"op":"dispatch","hour":1})",
+      R"({"op":"detect","id":5,"hour":0,"method":"mc","trials":100})",
+      R"({"op":"metrics"})",
+  };
+  const auto transcript_at = [&](std::size_t threads) {
+    core::ThreadPool::set_global_num_threads(threads);
+    const std::unique_ptr<MtdDaemon> daemon = test::make_fast_daemon();
+    std::vector<std::string> replies;
+    for (const std::string& line : script)
+      replies.push_back(daemon->handle_line(line));
+    return replies;
+  };
+  const auto t1 = transcript_at(1);
+  const auto t8 = transcript_at(8);
+  core::ThreadPool::set_global_num_threads(0);  // restore the default
+  ASSERT_EQ(t1.size(), t8.size());
+  for (std::size_t i = 0; i < t1.size(); ++i)
+    EXPECT_EQ(t1[i], t8[i]) << "request " << script[i];
+}
+
+/// A request pinned to a retained hour must return bit-identical replies
+/// whether the daemon is quiescent or re-keying ticks are racing it: the
+/// tick publishes each hour as one immutable snapshot swap, so a reader
+/// never observes a half-applied key change.
+TEST(ServeDaemonDeterminismTest, DetectRacingTickMatchesQuiescedRun) {
+  const std::string detect_req =
+      R"({"op":"detect","id":6,"hour":0,"method":"mc","trials":100})";
+  const std::string probe_req = R"({"op":"probe","id":8,"hour":0})";
+
+  // Reference replies from a quiesced daemon (no tick in flight).
+  const std::unique_ptr<MtdDaemon> quiesced = test::make_fast_daemon();
+  const std::string want_detect = quiesced->handle_line(detect_req);
+  const std::string want_probe = quiesced->handle_line(probe_req);
+
+  // Same-seed daemon: fire the same requests from two threads while a
+  // third advances the virtual clock twice.
+  const std::unique_ptr<MtdDaemon> racing = test::make_fast_daemon();
+  std::vector<std::string> got_detect(16), got_probe(16);
+  std::thread ticker([&] {
+    racing->tick();
+    racing->tick();
+  });
+  std::thread prober([&] {
+    for (auto& reply : got_probe) reply = racing->handle_line(probe_req);
+  });
+  for (auto& reply : got_detect) reply = racing->handle_line(detect_req);
+  ticker.join();
+  prober.join();
+
+  for (const std::string& reply : got_detect) EXPECT_EQ(reply, want_detect);
+  for (const std::string& reply : got_probe) EXPECT_EQ(reply, want_probe);
+  EXPECT_EQ(racing->current_hour(), 2u);
+}
+
+}  // namespace
+}  // namespace mtdgrid::serve

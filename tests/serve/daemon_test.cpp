@@ -1,0 +1,214 @@
+#include "serve/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "grid/cases.hpp"
+#include "grid/load_trace.hpp"
+#include "serve/json.hpp"
+#include "serve_test_util.hpp"
+
+namespace mtdgrid::serve {
+namespace {
+
+/// One daemon per test process for the request-behavior tests (ctest
+/// runs each discovered test in its own process; within a process the
+/// suite shares the instance). These tests never tick, so the current
+/// hour stays 0.
+class ServeDaemonTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { daemon_ = test::make_fast_daemon(); }
+  static void TearDownTestSuite() { daemon_.reset(); }
+  static std::unique_ptr<MtdDaemon> daemon_;
+};
+
+std::unique_ptr<MtdDaemon> ServeDaemonTest::daemon_;
+
+TEST_F(ServeDaemonTest, ServesStatusAndDispatch) {
+  const Json status = Json::parse(daemon_->handle_line(R"({"op":"status"})"));
+  EXPECT_TRUE(status.find("ok")->as_bool());
+  EXPECT_EQ(status.find("case")->as_string(), "ieee14");
+  EXPECT_EQ(status.find("hour")->as_number(), 0.0);
+  EXPECT_EQ(status.find("hours_per_day")->as_number(), 24.0);
+  EXPECT_TRUE(status.find("keyed")->as_bool());
+  EXPECT_GT(status.find("gamma_th")->as_number(), 0.0);
+  EXPECT_GT(status.find("eta")->as_number(), 0.0);
+
+  const Json dispatch =
+      Json::parse(daemon_->handle_line(R"({"op":"dispatch","id":9})"));
+  EXPECT_TRUE(dispatch.find("ok")->as_bool());
+  EXPECT_EQ(dispatch.find("id")->as_number(), 9.0);
+  EXPECT_GT(dispatch.find("cost")->as_number(), 0.0);
+  // One setpoint per D-FACTS branch, all strictly positive reactances.
+  const Json::Array& setpoints = dispatch.find("setpoints")->as_array();
+  ASSERT_EQ(setpoints.size(), 6u);  // case14 has 6 D-FACTS branches
+  for (const Json& x : setpoints) EXPECT_GT(x.as_number(), 0.0);
+}
+
+TEST_F(ServeDaemonTest, MalformedLinesGetPinnedRepliesAndSessionSurvives) {
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"not json",
+       R"x({"ok":false,"error":"parse","message":"invalid JSON: invalid literal at offset 0"})x"},
+      {"[1,2]",
+       R"x({"ok":false,"error":"bad-request","message":"request must be a JSON object"})x"},
+      {"{}",
+       R"x({"ok":false,"error":"bad-request","message":"missing \"op\""})x"},
+      {R"({"op":7})",
+       R"x({"ok":false,"error":"bad-request","message":"\"op\" must be a string"})x"},
+      {R"({"op":"zap"})",
+       R"x({"ok":false,"error":"unknown-op","message":"unknown op \"zap\""})x"},
+      {R"({"op":"status","id":-1})",
+       R"x({"ok":false,"error":"bad-request","message":"\"id\" must be a non-negative integer"})x"},
+      {R"({"op":"detect","z":"x"})",
+       R"x({"ok":false,"error":"bad-request","message":"\"z\" must be an array of numbers"})x"},
+      {R"({"op":"detect","z":[1,2]})",
+       R"x({"ok":false,"error":"bad-request","message":"\"z\" must have 54 entries (order: L forward flows, L reverse flows, N injections; MW)"})x"},
+      {R"({"op":"dispatch","hour":999})",
+       R"x({"ok":false,"error":"bad-hour","message":"hour 999 is not retained (retained: 0..0)"})x"},
+      {R"({"op":"detect","method":"fast"})",
+       R"x({"ok":false,"error":"bad-request","message":"\"method\" must be \"bdd\", \"analytic\" or \"mc\""})x"},
+      {R"({"op":"detect","method":"mc","trials":0})",
+       R"x({"ok":false,"error":"bad-request","message":"\"trials\" must be an integer in [1, 1000000]"})x"},
+      {R"({"op":"metrics","latency":1})",
+       R"x({"ok":false,"error":"bad-request","message":"\"latency\" must be a boolean"})x"},
+  };
+  for (const auto& [line, want] : cases)
+    EXPECT_EQ(daemon_->handle_line(line), want) << line;
+
+  // The session survives every error: the next request still works.
+  const Json status = Json::parse(daemon_->handle_line(R"({"op":"status"})"));
+  EXPECT_TRUE(status.find("ok")->as_bool());
+
+  // Blank lines produce no reply at all.
+  EXPECT_EQ(daemon_->handle_line(""), "");
+  EXPECT_EQ(daemon_->handle_line("  \r"), "");
+}
+
+TEST_F(ServeDaemonTest, ProbeIsAPureFunctionOfSeedHourAndId) {
+  const std::string first = daemon_->handle_line(R"({"op":"probe","id":42})");
+  const std::string again = daemon_->handle_line(R"({"op":"probe","id":42})");
+  EXPECT_EQ(first, again);  // same (seed, hour, id) => same bytes
+  const std::string other = daemon_->handle_line(R"({"op":"probe","id":43})");
+  EXPECT_NE(first, other);  // sibling substreams differ
+
+  const Json probe = Json::parse(first);
+  EXPECT_TRUE(probe.find("ok")->as_bool());
+  EXPECT_FALSE(probe.find("alarm")->as_bool());  // attack-free sample
+  EXPECT_EQ(probe.find("z")->as_array().size(), 54u);  // M = 2L + N
+}
+
+TEST_F(ServeDaemonTest, DetectFlagsInjectedDeviationAndScoresIt) {
+  // The hour's noiseless reference never alarms.
+  const Json clean = Json::parse(daemon_->handle_line(R"({"op":"detect"})"));
+  EXPECT_TRUE(clean.find("ok")->as_bool());
+  EXPECT_FALSE(clean.find("alarm")->as_bool());
+  EXPECT_LT(clean.find("residual")->as_number(), 1e-6);
+  EXPECT_GT(clean.find("tau")->as_number(), 0.0);
+  EXPECT_EQ(clean.find("dof")->as_number(), 41.0);  // M - n = 54 - 13
+
+  // A probe sample (realistic attack-free noise) stays quiet, while the
+  // same sample with 80 MW injected on one flow measurement trips the
+  // chi-square detector with near-certain detection probability.
+  const Json probe =
+      Json::parse(daemon_->handle_line(R"({"op":"probe","id":7})"));
+  const Json::Array& z = probe.find("z")->as_array();
+  Json clean_z, attacked_z;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    clean_z.push_back(Json(z[i].as_number()));
+    attacked_z.push_back(Json(z[i].as_number() + (i == 0 ? 80.0 : 0.0)));
+  }
+  Json clean_req, attacked_req;
+  clean_req.set("op", Json("detect"));
+  clean_req.set("z", std::move(clean_z));
+  attacked_req.set("op", Json("detect"));
+  attacked_req.set("method", Json("analytic"));
+  attacked_req.set("z", std::move(attacked_z));
+
+  const Json no_alarm = Json::parse(daemon_->handle_line(clean_req.dump()));
+  EXPECT_FALSE(no_alarm.find("alarm")->as_bool());
+  const Json alarm = Json::parse(daemon_->handle_line(attacked_req.dump()));
+  EXPECT_TRUE(alarm.find("alarm")->as_bool());
+  EXPECT_GT(alarm.find("p_detect")->as_number(), 0.99);
+}
+
+TEST_F(ServeDaemonTest, MonteCarloDetectUsesPerRequestSubstreams) {
+  const std::string req =
+      R"({"op":"detect","id":5,"method":"mc","trials":200})";
+  const std::string first = daemon_->handle_line(req);
+  EXPECT_EQ(daemon_->handle_line(req), first);  // same id => same bytes
+  const Json parsed = Json::parse(first);
+  EXPECT_EQ(parsed.find("method")->as_string(), "mc");
+  EXPECT_EQ(parsed.find("trials")->as_number(), 200.0);
+  // Attack-free vector: detection probability is the false-positive rate.
+  EXPECT_LT(parsed.find("p_detect")->as_number(), 0.05);
+}
+
+TEST_F(ServeDaemonTest, MetricsCountsRequestsDeterministically) {
+  const Json before = Json::parse(daemon_->handle_line(R"({"op":"metrics"})"));
+  daemon_->handle_line(R"({"op":"dispatch"})");
+  daemon_->handle_line(R"({"op":"nope"})");
+  const Json after = Json::parse(daemon_->handle_line(R"({"op":"metrics"})"));
+  // Counters include the handled line itself: +3 requests since `before`
+  // (dispatch, the error, this metrics call), +1 dispatch, +1 error.
+  EXPECT_EQ(after.find("requests")->as_number(),
+            before.find("requests")->as_number() + 3);
+  EXPECT_EQ(after.find("dispatch")->as_number(),
+            before.find("dispatch")->as_number() + 1);
+  EXPECT_EQ(after.find("errors")->as_number(),
+            before.find("errors")->as_number() + 1);
+  EXPECT_EQ(after.find("metrics")->as_number(),
+            before.find("metrics")->as_number() + 1);
+  // The latency histogram is opt-in: it is the one nondeterministic
+  // reply section, so the default reply must not carry it.
+  EXPECT_EQ(after.find("latency_us"), nullptr);
+  const Json with_latency =
+      Json::parse(daemon_->handle_line(R"({"op":"metrics","latency":true})"));
+  const Json* latency = with_latency.find("latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GT(latency->find("count")->as_number(), 0.0);
+  EXPECT_GT(latency->find("max_us")->as_number(), 0.0);
+  EXPECT_NE(latency->find("buckets"), nullptr);
+}
+
+TEST(ServeDaemonLifecycleTest, TickRetainsHistoryAndPinsHours) {
+  const std::unique_ptr<MtdDaemon> daemon = test::make_fast_daemon();
+  const std::string hour0_dispatch =
+      daemon->handle_line(R"({"op":"dispatch","hour":0})");
+
+  for (int i = 0; i < 2; ++i) {
+    const Json tick = Json::parse(daemon->handle_line(R"({"op":"tick"})"));
+    EXPECT_TRUE(tick.find("ok")->as_bool());
+  }
+  EXPECT_EQ(daemon->current_hour(), 2u);
+
+  // Hour 0 is still retained (history covers it) and replies for it are
+  // byte-identical to the pre-tick ones: pinned hours read immutable
+  // snapshots, unaffected by later re-keying.
+  EXPECT_EQ(daemon->handle_line(R"({"op":"dispatch","hour":0})"),
+            hour0_dispatch);
+
+  // The current hour moved on.
+  const Json status = Json::parse(daemon->handle_line(R"({"op":"status"})"));
+  EXPECT_EQ(status.find("hour")->as_number(), 2.0);
+  const Json::Array& retained = status.find("retained")->as_array();
+  ASSERT_EQ(retained.size(), 2u);
+  EXPECT_EQ(retained[0].as_number(), 0.0);
+  EXPECT_EQ(retained[1].as_number(), 2.0);
+
+  // Shutdown verb: ok reply, flag set; the daemon itself still answers
+  // (the transport layer decides when to stop serving).
+  const Json bye = Json::parse(daemon->handle_line(R"({"op":"shutdown"})"));
+  EXPECT_TRUE(bye.find("ok")->as_bool());
+  EXPECT_TRUE(daemon->shutdown_requested());
+  EXPECT_TRUE(
+      Json::parse(daemon->handle_line(R"({"op":"status"})"))
+          .find("ok")
+          ->as_bool());
+}
+
+}  // namespace
+}  // namespace mtdgrid::serve

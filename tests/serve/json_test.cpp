@@ -1,0 +1,114 @@
+#include "serve/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace mtdgrid::serve {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-0.5e2").as_number(), -50.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(Json::parse("  17 ").as_number(), 17.0);
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  const Json doc = Json::parse(
+      R"({"op":"detect","z":[1.5,-2,3e1],"nested":{"deep":[true,null]}})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("op")->as_string(), "detect");
+  const Json::Array& z = doc.find("z")->as_array();
+  ASSERT_EQ(z.size(), 3u);
+  EXPECT_DOUBLE_EQ(z[1].as_number(), -2.0);
+  EXPECT_DOUBLE_EQ(z[2].as_number(), 30.0);
+  const Json* deep = doc.find("nested")->find("deep");
+  ASSERT_NE(deep, nullptr);
+  EXPECT_TRUE(deep->as_array()[1].is_null());
+  EXPECT_EQ(doc.find("absent"), nullptr);
+}
+
+TEST(JsonTest, ParsesStringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(Json::parse(R"("Aé")").as_string(), "A\xc3\xa9");
+  // Surrogate pair escape: U+1F600.
+  EXPECT_EQ(Json::parse(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+  // Raw UTF-8 bytes pass through untouched.
+  EXPECT_EQ(Json::parse("\"\xf0\x9f\x98\x80\"").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, ErrorsCarryOffsets) {
+  const auto offset_of = [](const std::string& text) -> std::size_t {
+    try {
+      Json::parse(text);
+    } catch (const JsonError& e) {
+      return e.offset();
+    }
+    ADD_FAILURE() << "no error for: " << text;
+    return static_cast<std::size_t>(-1);
+  };
+  EXPECT_EQ(offset_of("nope"), 0u);
+  EXPECT_EQ(offset_of("{\"a\":}"), 5u);
+  EXPECT_EQ(offset_of("[1,2"), 4u);
+  EXPECT_EQ(offset_of("{\"a\":1} trailing"), 8u);
+  EXPECT_EQ(offset_of("\"unterminated"), 13u);
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("1e999"), JsonError);
+  EXPECT_THROW(Json::parse("{1:2}"), JsonError);
+  EXPECT_THROW(Json::parse("007"), JsonError);  // RFC 8259: no leading zeros
+  EXPECT_THROW(Json::parse("-01"), JsonError);
+  EXPECT_DOUBLE_EQ(Json::parse("0.5").as_number(), 0.5);
+  EXPECT_DOUBLE_EQ(Json::parse("-0").as_number(), 0.0);
+  EXPECT_THROW(Json::parse(R"("\ud83d")"), JsonError);
+  EXPECT_THROW(Json::parse("\"ctrl\x01\""), JsonError);
+}
+
+TEST(JsonTest, RejectsDeepNesting) {
+  std::string deep;
+  for (int i = 0; i < 80; ++i) deep += '[';
+  EXPECT_THROW(Json::parse(deep), JsonError);
+}
+
+TEST(JsonTest, DumpIsCompactOrderedAndRoundTrips) {
+  Json obj;
+  obj.set("ok", Json(true));
+  obj.set("op", Json("status"));
+  obj.set("hour", Json(std::size_t{7}));
+  Json arr;
+  arr.push_back(Json(0.1));
+  arr.push_back(Json(-3.0));
+  obj.set("z", std::move(arr));
+  EXPECT_EQ(obj.dump(), R"({"ok":true,"op":"status","hour":7,"z":[0.1,-3]})");
+
+  // Shortest-round-trip doubles: dump(parse(dump(x))) is stable.
+  const double awkward[] = {0.1, 1.0 / 3.0, 1e-300, 6.02214076e23,
+                            -123456.789012345678};
+  for (const double v : awkward) {
+    const std::string once = Json(v).dump();
+    const Json back = Json::parse(once);
+    EXPECT_EQ(back.as_number(), v) << once;
+    EXPECT_EQ(back.dump(), once);
+  }
+}
+
+TEST(JsonTest, DumpEscapesStrings) {
+  const std::string with_ctrl = std::string("a\"b\\c\n") + '\x01';
+  EXPECT_EQ(Json(with_ctrl).dump(), "\"a\\\"b\\\\c\\n\\u0001\"");
+}
+
+TEST(JsonTest, AccessorsThrowOnTypeMismatch) {
+  EXPECT_THROW(Json(1.0).as_string(), JsonError);
+  EXPECT_THROW(Json("x").as_number(), JsonError);
+  EXPECT_THROW(Json(true).as_array(), JsonError);
+  EXPECT_EQ(Json(1.0).find("k"), nullptr);
+}
+
+}  // namespace
+}  // namespace mtdgrid::serve

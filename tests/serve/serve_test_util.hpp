@@ -1,0 +1,35 @@
+#pragma once
+
+#include <memory>
+
+#include "grid/cases.hpp"
+#include "grid/load_trace.hpp"
+#include "serve/daemon.hpp"
+
+namespace mtdgrid::serve::test {
+
+/// Small-budget daemon options shared by the serve test binaries: the
+/// protocol behavior under test does not depend on search quality, and
+/// the daemon constructor pays a full pass-1 day plus the hour-0 re-key,
+/// so every knob is turned down to keep the suites fast (also under the
+/// TSan `concurrency` leg).
+inline DaemonOptions fast_daemon_options() {
+  DaemonOptions options;
+  options.seed = 11;
+  options.history_hours = 4;
+  options.daily.gamma_grid = {0.05, 0.15};
+  options.daily.base_search_evaluations = 120;
+  options.daily.effectiveness.num_attacks = 40;
+  options.daily.selection.extra_starts = 1;
+  options.daily.selection.search.max_evaluations = 150;
+  return options;
+}
+
+/// A case14 daemon on the NYISO trace with `fast_daemon_options`.
+inline std::unique_ptr<MtdDaemon> make_fast_daemon() {
+  return std::make_unique<MtdDaemon>(
+      grid::make_case14(), grid::DailyLoadTrace::nyiso_winter_weekday(),
+      fast_daemon_options());
+}
+
+}  // namespace mtdgrid::serve::test

@@ -12,14 +12,20 @@
 // of queries with re-keying (same --seed), which the CI smoke step
 // enforces by diffing full transcripts across --threads 1 and 8.
 //
+// With --shards N > 1 the daemon serves a ShardedDaemon fleet: N
+// independent copies of the case, shard k seeded with
+// stream_seed(seed, k), routed by the "shard"/"case" request fields
+// (DESIGN.md "Fleet sharding"); --rekey-ms then broadcast-ticks every
+// shard.
+//
 // Usage:
 //   mtd_daemon [--threads N] [--seed S] [--port P] [--history H]
-//              [--attacks N] [--starts N] [--evals N] [--base-evals N]
-//              [--rekey-ms MS] [case]
+//              [--shards N] [--attacks N] [--starts N] [--evals N]
+//              [--base-evals N] [--rekey-ms MS] [case]
 //   mtd_daemon --client PORT [--request JSON]...
 //
 // Defaults: case14, seed 7, port 0 (kernel-assigned, printed on stdout),
-// history 24 hours, manual re-keying (rekey-ms 0).
+// history 24 hours, 1 shard, manual re-keying (rekey-ms 0).
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -42,6 +48,7 @@
 #include "io/case_registry.hpp"
 #include "serve/daemon.hpp"
 #include "serve/server.hpp"
+#include "serve/sharded.hpp"
 
 namespace {
 
@@ -53,8 +60,8 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--threads N] [--seed S] [--port P] [--history H]\n"
-      "       %*s [--attacks N] [--starts N] [--evals N] [--base-evals N]\n"
-      "       %*s [--rekey-ms MS] [case]\n"
+      "       %*s [--shards N] [--attacks N] [--starts N] [--evals N]\n"
+      "       %*s [--base-evals N] [--rekey-ms MS] [case]\n"
       "       %s --client PORT [--request JSON]...\n"
       "cases: %s (or a path to a MATPOWER .m file)\n",
       argv0, static_cast<int>(std::strlen(argv0)), "",
@@ -139,6 +146,7 @@ int main(int argc, char** argv) {
   options.daily.selection.search.max_evaluations = 600;
   unsigned long long port = 0;
   unsigned long long rekey_ms = 0;
+  unsigned long long shards = 1;
   bool client_mode = false;
   unsigned long long client_port = 0;
   std::vector<std::string> client_requests;
@@ -179,6 +187,10 @@ int main(int argc, char** argv) {
       if (++i >= argc || !parse_u64(argv[i], 1, 1000000, value))
         return usage(argv[0]);
       options.daily.base_search_evaluations = static_cast<int>(value);
+    } else if (arg == "--shards") {
+      if (++i >= argc || !parse_u64(argv[i], 1, 64, value))
+        return usage(argv[0]);
+      shards = value;
     } else if (arg == "--rekey-ms") {
       if (++i >= argc || !parse_u64(argv[i], 0, 86400000, value))
         return usage(argv[0]);
@@ -206,7 +218,8 @@ int main(int argc, char** argv) {
     }
   }
   if (client_mode) {
-    if (case_set || port != 0 || rekey_ms != 0) return usage(argv[0]);
+    if (case_set || port != 0 || rekey_ms != 0 || shards != 1)
+      return usage(argv[0]);
     return run_client(static_cast<std::uint16_t>(client_port),
                       client_requests);
   }
@@ -215,27 +228,50 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
 
-  std::printf("mtd-daemon: loading %s and keying hour 0...\n",
-              options.case_name.c_str());
+  std::printf("mtd-daemon: loading %llu x %s and keying hour 0...\n",
+              shards, options.case_name.c_str());
   std::fflush(stdout);
+  // One shard serves a plain MtdDaemon; more serve a ShardedDaemon fleet
+  // of independent copies seeded with stream_seed(seed, shard).
   std::unique_ptr<serve::MtdDaemon> daemon_ptr;
+  std::unique_ptr<serve::ShardedDaemon> fleet_ptr;
   try {
-    daemon_ptr = std::make_unique<serve::MtdDaemon>(options);
+    if (shards == 1) {
+      daemon_ptr = std::make_unique<serve::MtdDaemon>(options);
+    } else {
+      serve::ShardedOptions fleet_options;
+      fleet_options.cases.assign(static_cast<std::size_t>(shards),
+                                 options.case_name);
+      fleet_options.seed = options.seed;
+      fleet_options.history_hours = options.history_hours;
+      fleet_options.daily = options.daily;
+      fleet_ptr = std::make_unique<serve::ShardedDaemon>(fleet_options);
+    }
   } catch (const io::CaseIoError& e) {
     std::fprintf(stderr, "mtd_daemon: %s\n", e.what());
     return 1;
   }
-  serve::MtdDaemon& daemon = *daemon_ptr;
-  {
-    const auto snap = daemon.current_snapshot();
+  serve::LineService& service =
+      daemon_ptr ? static_cast<serve::LineService&>(*daemon_ptr)
+                 : static_cast<serve::LineService&>(*fleet_ptr);
+  const auto for_each_shard = [&](const auto& fn) {
+    if (daemon_ptr) {
+      fn(*daemon_ptr);
+    } else {
+      for (std::size_t k = 0; k < fleet_ptr->num_shards(); ++k)
+        fn(fleet_ptr->shard(k));
+    }
+  };
+  for_each_shard([](const serve::MtdDaemon& shard) {
+    const auto snap = shard.current_snapshot();
     std::printf("mtd-daemon: %s keyed at hour %zu (gamma_th=%.2f, "
                 "eta=%.2f, load=%.0f MW)\n",
-                daemon.case_name().c_str(), snap->hour,
+                shard.case_name().c_str(), snap->hour,
                 snap->record.gamma_threshold, snap->record.eta_at_target,
                 snap->record.total_load_mw);
-  }
+  });
 
-  serve::SocketServer server(daemon, static_cast<std::uint16_t>(port));
+  serve::SocketServer server(service, static_cast<std::uint16_t>(port));
   std::printf("mtd-daemon: listening on 127.0.0.1:%u\n",
               static_cast<unsigned>(server.port()));
   std::printf("mtd-daemon: re-keying %s; try:  "
@@ -252,13 +288,14 @@ int main(int argc, char** argv) {
     rekey_thread = std::thread([&] {
       auto next = std::chrono::steady_clock::now() +
                   std::chrono::milliseconds(rekey_ms);
-      while (!daemon.shutdown_requested() && !g_signal_stop.load()) {
+      while (!service.shutdown_requested() && !g_signal_stop.load()) {
         if (std::chrono::steady_clock::now() < next) {
           std::this_thread::sleep_for(std::chrono::milliseconds(10));
           continue;
         }
         next += std::chrono::milliseconds(rekey_ms);
-        const std::size_t hour = daemon.tick();
+        const std::size_t hour =
+            daemon_ptr ? daemon_ptr->tick() : fleet_ptr->tick_all().front();
         std::printf("mtd-daemon: re-keyed to hour %zu\n", hour);
         std::fflush(stdout);
       }
@@ -268,13 +305,22 @@ int main(int argc, char** argv) {
   // Serve until a client sends `shutdown` or a signal arrives. Polling
   // keeps the loop signal-safe (a handler cannot notify a condition
   // variable).
-  while (!daemon.shutdown_requested() && !g_signal_stop.load())
+  while (!service.shutdown_requested() && !g_signal_stop.load())
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  daemon.request_shutdown();
+  if (daemon_ptr)
+    daemon_ptr->request_shutdown();
+  else
+    fleet_ptr->request_shutdown();
   server.stop();
   if (rekey_thread.joinable()) rekey_thread.join();
 
-  const serve::DaemonCounters counters = daemon.counters();
+  serve::DaemonCounters counters;  // summed across shards
+  for_each_shard([&counters](const serve::MtdDaemon& shard) {
+    const serve::DaemonCounters c = shard.counters();
+    counters.requests += c.requests;
+    counters.errors += c.errors;
+    counters.ticks += c.ticks;
+  });
   std::printf("mtd-daemon: shutting down after %llu requests "
               "(%llu errors, %llu re-keys)\n",
               static_cast<unsigned long long>(counters.requests),

@@ -1,0 +1,267 @@
+// mtd_loadgen: load generator for the sharded MTD serving fleet
+// (ROADMAP "Fleet-scale serving", DESIGN.md "Fleet sharding").
+//
+// Builds an in-process ShardedDaemon (reduced re-keying budgets so
+// startup is fast) and drives it from --connections worker threads, each
+// issuing routed requests for --duration seconds:
+//
+//  - closed loop (default): every connection sends its next request the
+//    moment the previous reply arrives — measures peak throughput.
+//  - open loop (--rate R): requests are *scheduled* at R per second
+//    across all connections and latency is measured from the scheduled
+//    arrival time, so queueing delay is charged to the server
+//    (avoiding coordinated omission).
+//
+// The request mix cycles deterministically through the --mix
+// detect:dispatch:status weights, and shards are visited round-robin via
+// the "shard" routing field. detect and status ride the lock-free read
+// path; dispatch takes its shard's write lock.
+//
+// Prints one JSON object on stdout: request/error counts, RPS, and
+// p50/p99/p999/mean/max service latency in microseconds. The CI loadgen
+// smoke step asserts rps > 0 on 2 shards x 2 s; bench/bench_serve.cpp's
+// BM_ShardedDetectThroughput feeds the same fleet shape into the perf
+// gate.
+//
+// Usage:
+//   mtd_loadgen [--shards N] [--connections C] [--duration S] [--rate R]
+//               [--mix D:P:S] [--seed S] [--threads N] [case]
+//
+// Defaults: 2 shards of case14, 4 connections, 5 s, closed loop,
+// mix 8:1:1, seed 7.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "example_util.hpp"
+#include "io/case_registry.hpp"
+#include "serve/json.hpp"
+#include "serve/sharded.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--shards N] [--connections C] [--duration S] [--rate R]\n"
+      "       %*s [--mix D:P:S] [--seed S] [--threads N] [case]\n"
+      "cases: %s (or a path to a MATPOWER .m file)\n",
+      argv0, static_cast<int>(std::strlen(argv0)), "",
+      mtdgrid::io::CaseRegistry::global().joined_names("|").c_str());
+  return 2;
+}
+
+bool parse_u64(const char* arg, unsigned long long lo, unsigned long long hi,
+               unsigned long long& out) {
+  if (arg == nullptr) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(arg, &end, 10);
+  if (errno != 0 || end == arg || *end != '\0' || v < lo || v > hi)
+    return false;
+  out = v;
+  return true;
+}
+
+/// Parses "D:P:S" detect:dispatch:status weights (non-negative, sum > 0).
+bool parse_mix(const char* arg, unsigned long long (&mix)[3]) {
+  if (arg == nullptr) return false;
+  const std::string s(arg);
+  const std::size_t first = s.find(':');
+  if (first == std::string::npos) return false;
+  const std::size_t second = s.find(':', first + 1);
+  if (second == std::string::npos) return false;
+  if (!parse_u64(s.substr(0, first).c_str(), 0, 1000, mix[0]) ||
+      !parse_u64(s.substr(first + 1, second - first - 1).c_str(), 0, 1000,
+                 mix[1]) ||
+      !parse_u64(s.substr(second + 1).c_str(), 0, 1000, mix[2]))
+    return false;
+  return mix[0] + mix[1] + mix[2] > 0;
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(sorted.size()))));
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mtdgrid;
+  using Clock = std::chrono::steady_clock;
+
+  unsigned long long shards = 2;
+  unsigned long long connections = 4;
+  unsigned long long duration_s = 5;
+  unsigned long long rate = 0;  // 0 = closed loop
+  unsigned long long mix[3] = {8, 1, 1};
+  std::string case_name = "case14";
+  std::uint64_t seed = 7;
+  bool case_set = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    unsigned long long value = 0;
+    if (arg == "--shards") {
+      if (++i >= argc || !parse_u64(argv[i], 1, 64, value))
+        return usage(argv[0]);
+      shards = value;
+    } else if (arg == "--connections") {
+      if (++i >= argc || !parse_u64(argv[i], 1, 256, value))
+        return usage(argv[0]);
+      connections = value;
+    } else if (arg == "--duration") {
+      if (++i >= argc || !parse_u64(argv[i], 1, 3600, value))
+        return usage(argv[0]);
+      duration_s = value;
+    } else if (arg == "--rate") {
+      if (++i >= argc || !parse_u64(argv[i], 1, 10000000, value))
+        return usage(argv[0]);
+      rate = value;
+    } else if (arg == "--mix") {
+      if (++i >= argc || !parse_mix(argv[i], mix)) return usage(argv[0]);
+    } else if (arg == "--seed") {
+      if (++i >= argc || !parse_u64(argv[i], 0, ~0ULL, value))
+        return usage(argv[0]);
+      seed = value;
+    } else if (arg == "--threads") {
+      if (++i >= argc || !examples::apply_threads_arg(argv[i]))
+        return usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (!case_set && io::CaseRegistry::global().knows(arg)) {
+      case_name = arg;
+      case_set = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  // Reduced budgets (the serve-test profile): the harness measures
+  // request serving, not selection quality, so startup stays fast.
+  serve::ShardedOptions options;
+  options.cases.assign(static_cast<std::size_t>(shards), case_name);
+  options.seed = seed;
+  options.history_hours = 4;
+  options.daily.base_search_evaluations = 120;
+  options.daily.effectiveness.num_attacks = 40;
+  options.daily.selection.extra_starts = 1;
+  options.daily.selection.search.max_evaluations = 150;
+
+  std::fprintf(stderr, "mtd-loadgen: keying %llu x %s...\n", shards,
+               case_name.c_str());
+  std::unique_ptr<serve::ShardedDaemon> fleet;
+  try {
+    fleet = std::make_unique<serve::ShardedDaemon>(options);
+  } catch (const io::CaseIoError& e) {
+    std::fprintf(stderr, "mtd_loadgen: %s\n", e.what());
+    return 1;
+  }
+
+  const std::size_t num_conns = static_cast<std::size_t>(connections);
+  const unsigned long long mix_total = mix[0] + mix[1] + mix[2];
+  std::vector<std::vector<double>> latencies(num_conns);
+  std::vector<std::uint64_t> sent(num_conns, 0), failed(num_conns, 0);
+
+  const auto start = Clock::now();
+  const auto deadline = start + std::chrono::seconds(duration_s);
+  std::vector<std::thread> workers;
+  workers.reserve(num_conns);
+  for (std::size_t c = 0; c < num_conns; ++c) {
+    workers.emplace_back([&, c] {
+      std::vector<double>& lat = latencies[c];
+      lat.reserve(std::size_t{1} << 16);
+      std::string req;
+      for (std::uint64_t n = 0;; ++n) {
+        auto issued = Clock::now();
+        if (rate > 0) {
+          // Connection c owns global arrival slots c, c+C, c+2C, ... of
+          // the fleet-wide schedule (one request every 1/rate seconds).
+          const double slot_s =
+              static_cast<double>(n * num_conns + c) /
+              static_cast<double>(rate);
+          const auto arrival =
+              start + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(slot_s));
+          if (arrival >= deadline) break;
+          std::this_thread::sleep_until(arrival);
+          issued = arrival;  // charge backlog to the server (open loop)
+        } else if (issued >= deadline) {
+          break;
+        }
+        const std::size_t shard = (c + n) % static_cast<std::size_t>(shards);
+        const unsigned long long slot = n % mix_total;
+        const char* op = slot < mix[0]            ? "detect"
+                         : slot < mix[0] + mix[1] ? "dispatch"
+                                                  : "status";
+        req = "{\"op\":\"";
+        req += op;
+        req += "\",\"id\":";
+        req += std::to_string(n);
+        req += ",\"shard\":";
+        req += std::to_string(shard);
+        req += "}";
+        const std::string reply = fleet->handle_line(req);
+        const auto done = Clock::now();
+        if (reply.rfind("{\"ok\":true", 0) != 0) ++failed[c];
+        lat.push_back(
+            std::chrono::duration<double, std::micro>(done - issued).count());
+        ++sent[c];
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> all;
+  std::uint64_t requests = 0, errors = 0;
+  for (std::size_t c = 0; c < num_conns; ++c) {
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+    requests += sent[c];
+    errors += failed[c];
+  }
+  std::sort(all.begin(), all.end());
+  double sum = 0.0;
+  for (const double v : all) sum += v;
+
+  serve::Json out;
+  out.set("shards", serve::Json(static_cast<std::size_t>(shards)));
+  out.set("connections", serve::Json(num_conns));
+  out.set("mode", serve::Json(rate > 0 ? "open" : "closed"));
+  if (rate > 0) out.set("rate", serve::Json(static_cast<std::size_t>(rate)));
+  out.set("mix", serve::Json(std::to_string(mix[0]) + ":" +
+                             std::to_string(mix[1]) + ":" +
+                             std::to_string(mix[2])));
+  out.set("duration_s", serve::Json(elapsed_s));
+  out.set("requests", serve::Json(requests));
+  out.set("errors", serve::Json(errors));
+  out.set("rps",
+          serve::Json(elapsed_s > 0.0
+                          ? static_cast<double>(requests) / elapsed_s
+                          : 0.0));
+  serve::Json latency;
+  latency.set("p50", serve::Json(percentile(all, 0.50)));
+  latency.set("p99", serve::Json(percentile(all, 0.99)));
+  latency.set("p999", serve::Json(percentile(all, 0.999)));
+  latency.set("mean",
+              serve::Json(all.empty()
+                              ? 0.0
+                              : sum / static_cast<double>(all.size())));
+  latency.set("max", serve::Json(all.empty() ? 0.0 : all.back()));
+  out.set("latency_us", std::move(latency));
+  std::printf("%s\n", out.dump().c_str());
+  return errors == 0 ? 0 : 1;
+}

@@ -17,7 +17,11 @@ namespace mtdgrid::core {
 /// concurrently for distinct indices. Runs inline (plain loop, ascending
 /// order) when the effective worker count is 1 or the caller is already
 /// inside a parallel region — nested regions serialize rather than
-/// oversubscribe.
+/// oversubscribe. Safe to call from any number of user threads at once:
+/// the pool queues regions and runs them one at a time
+/// (`ThreadPool::run`), so independent callers — e.g. two daemon shards —
+/// never interleave their tasks and each region's results stay
+/// bit-identical to a solo run.
 template <typename Fn>
 void parallel_for(std::size_t count, Fn&& fn, ThreadPool* pool = nullptr) {
   ThreadPool& p = pool != nullptr ? *pool : ThreadPool::global();

@@ -105,6 +105,12 @@ void ThreadPool::run(std::size_t workers,
     return;
   }
 
+  // Admit one parallel region at a time: concurrent `run` callers (e.g.
+  // two daemon shards fanning out Monte-Carlo detects) queue here in
+  // arrival order. The inline path above never reaches this lock, so a
+  // nested region issued from inside a job cannot self-deadlock.
+  std::lock_guard<std::mutex> region_lock(region_mutex_);
+
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &job;

@@ -40,9 +40,12 @@ class ThreadPool {
   /// the call blocks until every worker returns. The first exception thrown
   /// by any worker is rethrown on the calling thread after the barrier.
   ///
-  /// `run` is not reentrant and not thread-safe: one parallel region at a
-  /// time, launched from one user thread. A nested call (issued from inside
-  /// a job) executes the inner job inline on the calling worker — the
+  /// `run` may be called from any number of user threads: the pool admits
+  /// one parallel region at a time and serializes the rest on an internal
+  /// region lock (first come, first served) — required by the sharded
+  /// serving fleet, where independent shards fan out concurrently
+  /// (DESIGN.md "Fleet sharding"). A nested call (issued from inside a
+  /// job) executes the inner job inline on the calling worker — the
   /// `parallel_*` helpers rely on this to serialize nested parallelism.
   void run(std::size_t workers, const std::function<void(std::size_t)>& job);
 
@@ -71,6 +74,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
 
+  std::mutex region_mutex_;  // admits one queued parallel region at a time
   std::mutex mutex_;
   std::condition_variable wake_cv_;   // signals a new generation (or stop)
   std::condition_variable done_cv_;   // signals all participants finished

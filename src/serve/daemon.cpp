@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -54,6 +55,7 @@ MtdDaemon::MtdDaemon(grid::PowerSystem sys, grid::DailyLoadTrace trace,
       probe_root_(stats::stream_seed(options_.seed, kProbeStreamTag)),
       detect_root_(stats::stream_seed(options_.seed, kDetectStreamTag)) {
   if (options_.history_hours == 0) options_.history_hours = 1;
+  history_.store(std::make_shared<SnapshotWindow>());
   tick();  // key hour 0: the daemon serves immediately after construction
 }
 
@@ -79,6 +81,17 @@ std::size_t MtdDaemon::tick() {
   return tick_locked();
 }
 
+std::size_t MtdDaemon::tick(ExecLock& lock) {
+  // The caller pre-acquired this daemon's write lock (fleet broadcast
+  // tick: all shard locks first, then one parallel region). The lock may
+  // be owned by a different thread than the one running the engine work;
+  // mutual exclusion is what matters, and unlocking stays with the owner.
+  if (lock.mutex() != &exec_mutex_ || !lock.owns_lock())
+    throw std::logic_error("tick(ExecLock&): lock must hold this daemon's "
+                           "exec_lock()");
+  return tick_locked();
+}
+
 std::size_t MtdDaemon::tick_locked() {
   mtd::DailyHourOutcome outcome = engine_.advance_hour(rng_);
 
@@ -101,36 +114,60 @@ std::size_t MtdDaemon::tick_locked() {
         *snap->estimator, options_.daily.effectiveness.fp_rate);
   }
 
-  // Publish: the snapshot swap is the only mutation readers can see, so
-  // a request never observes a half-applied key change.
-  std::lock_guard<std::mutex> state_lock(state_mutex_);
-  history_.push_back(std::move(snap));
-  while (history_.size() > options_.history_hours) history_.pop_front();
-  ++counters_.ticks;
-  return history_.back()->hour;
+  // Publish: readers atomically load the whole retention window, so a
+  // request never observes a half-applied key change or a half-trimmed
+  // window. `exec_mutex_` makes this the only writer.
+  auto next = std::make_shared<SnapshotWindow>(*history_.load());
+  next->push_back(std::move(snap));
+  while (next->size() > options_.history_hours)
+    next->erase(next->begin());
+  const std::size_t hour = next->back()->hour;
+  history_.store(std::move(next));
+  counters_.ticks.fetch_add(1, std::memory_order_relaxed);
+  return hour;
 }
 
 std::size_t MtdDaemon::current_hour() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
-  return history_.back()->hour;
+  return window()->back()->hour;
 }
 
 std::shared_ptr<const HourKeySnapshot> MtdDaemon::current_snapshot() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
-  return history_.back();
+  return window()->back();
 }
 
 std::shared_ptr<const HourKeySnapshot> MtdDaemon::snapshot_at(
     std::size_t hour) const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
-  for (const auto& snap : history_)
+  for (const auto& snap : *window())
     if (snap->hour == hour) return snap;
   return nullptr;
 }
 
 DaemonCounters MtdDaemon::counters() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
-  return counters_;
+  DaemonCounters c;
+  c.requests = counters_.requests.load(std::memory_order_relaxed);
+  c.errors = counters_.errors.load(std::memory_order_relaxed);
+  c.ticks = counters_.ticks.load(std::memory_order_relaxed);
+  c.dispatch = counters_.dispatch.load(std::memory_order_relaxed);
+  c.detect = counters_.detect.load(std::memory_order_relaxed);
+  c.probe = counters_.probe.load(std::memory_order_relaxed);
+  c.status = counters_.status.load(std::memory_order_relaxed);
+  c.metrics = counters_.metrics.load(std::memory_order_relaxed);
+  return c;
+}
+
+bool MtdDaemon::needs_exec_lock(const Request& req) {
+  switch (req.verb) {
+    case Verb::kTick:
+    case Verb::kDispatch:
+      return true;  // mutate / read engine state
+    case Verb::kDetect:
+      // Monte-Carlo scoring fans out on the shared thread pool; routing
+      // it through the write lock bounds pool contention per shard. The
+      // plain BDD and analytic methods are snapshot-pure and lock-free.
+      return req.method == DetectMethod::kMonteCarlo;
+    default:
+      return false;
+  }
 }
 
 std::string MtdDaemon::handle_line(const std::string& line) {
@@ -140,20 +177,25 @@ std::string MtdDaemon::handle_line(const std::string& line) {
     trimmed.pop_back();
   if (trimmed.find_first_not_of(" \t") == std::string::npos) return "";
 
+  ParseOutcome outcome = parse_request(trimmed);
+  if (const ProtocolError* err = std::get_if<ProtocolError>(&outcome)) {
+    counters_.requests.fetch_add(1, std::memory_order_relaxed);
+    return error_line(*err);
+  }
+  return serve_request(std::get<Request>(outcome));
+}
+
+std::string MtdDaemon::serve_request(const Request& req) {
   const auto t0 = std::chrono::steady_clock::now();
+  counters_.requests.fetch_add(1, std::memory_order_relaxed);
   std::string reply;
-  {
+  if (needs_exec_lock(req)) {
     std::lock_guard<std::mutex> exec_lock(exec_mutex_);
-    {
-      std::lock_guard<std::mutex> state_lock(state_mutex_);
-      ++counters_.requests;
-    }
-    ParseOutcome outcome = parse_request(trimmed);
-    if (const ProtocolError* err = std::get_if<ProtocolError>(&outcome)) {
-      reply = error_line(*err);
-    } else {
-      reply = handle_request(std::get<Request>(outcome));
-    }
+    reply = handle_request(req);
+  } else {
+    // Lock-free read path: answers entirely off the atomically loaded
+    // snapshot window, even while a tick holds the write lock.
+    reply = handle_request(req);
   }
   const auto t1 = std::chrono::steady_clock::now();
   record_latency(
@@ -162,8 +204,7 @@ std::string MtdDaemon::handle_line(const std::string& line) {
 }
 
 std::string MtdDaemon::error_line(const ProtocolError& error) {
-  std::lock_guard<std::mutex> lock(state_mutex_);
-  ++counters_.errors;
+  counters_.errors.fetch_add(1, std::memory_order_relaxed);
   return error_reply(error);
 }
 
@@ -187,31 +228,25 @@ std::string MtdDaemon::handle_request(const Request& req) {
 }
 
 std::shared_ptr<const HourKeySnapshot> MtdDaemon::resolve_snapshot(
-    const Request& req, std::string& error) {
-  if (!req.has_hour) return current_snapshot();
-  if (auto snap = snapshot_at(req.hour)) return snap;
-  std::size_t lo = 0, hi = 0;
-  {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    lo = history_.front()->hour;
-    hi = history_.back()->hour;
-  }
+    const SnapshotWindow& window, const Request& req, std::string& error) {
+  if (!req.has_hour) return window.back();
+  for (const auto& snap : window)
+    if (snap->hour == req.hour) return snap;
   error = error_line(
       {"bad-hour",
        "hour " + std::to_string(req.hour) + " is not retained (retained: " +
-           std::to_string(lo) + ".." + std::to_string(hi) + ")"});
+           std::to_string(window.front()->hour) + ".." +
+           std::to_string(window.back()->hour) + ")"});
   return nullptr;
 }
 
 std::string MtdDaemon::reply_dispatch(const Request& req) {
+  const auto win = window();
   std::string error;
-  const auto snap = resolve_snapshot(req, error);
+  const auto snap = resolve_snapshot(*win, req, error);
   if (!snap) return error;
   if (!snap->keyed) return not_keyed_reply(snap->hour);
-  {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    ++counters_.dispatch;
-  }
+  counters_.dispatch.fetch_add(1, std::memory_order_relaxed);
   Json reply;
   reply.set("ok", Json(true));
   reply.set("op", Json("dispatch"));
@@ -232,8 +267,9 @@ std::string MtdDaemon::reply_dispatch(const Request& req) {
 }
 
 std::string MtdDaemon::reply_detect(const Request& req) {
+  const auto win = window();
   std::string error;
-  const auto snap = resolve_snapshot(req, error);
+  const auto snap = resolve_snapshot(*win, req, error);
   if (!snap) return error;
   if (!snap->keyed) return not_keyed_reply(snap->hour);
   const linalg::Vector& z = req.has_z ? req.z : snap->z_ref;
@@ -244,10 +280,7 @@ std::string MtdDaemon::reply_detect(const Request& req) {
              std::to_string(snap->estimator->num_measurements()) +
              " entries (order: L forward flows, L reverse flows, N "
              "injections; MW)"});
-  {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    ++counters_.detect;
-  }
+  counters_.detect.fetch_add(1, std::memory_order_relaxed);
   const double residual = snap->estimator->normalized_residual_norm(z);
   Json reply;
   reply.set("ok", Json(true));
@@ -285,14 +318,12 @@ std::string MtdDaemon::reply_detect(const Request& req) {
 }
 
 std::string MtdDaemon::reply_probe(const Request& req) {
+  const auto win = window();
   std::string error;
-  const auto snap = resolve_snapshot(req, error);
+  const auto snap = resolve_snapshot(*win, req, error);
   if (!snap) return error;
   if (!snap->keyed) return not_keyed_reply(snap->hour);
-  {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    ++counters_.probe;
-  }
+  counters_.probe.fetch_add(1, std::memory_order_relaxed);
   // Attack-free sample on the request's own substream (pure function of
   // (seed, hour, id)): z = z_ref + sigma * N(0, I).
   stats::Rng stream = stats::make_stream(
@@ -313,18 +344,17 @@ std::string MtdDaemon::reply_probe(const Request& req) {
 }
 
 std::string MtdDaemon::reply_status(const Request& req) {
+  const auto win = window();
   std::string error;
-  const auto snap = resolve_snapshot(req, error);
+  const auto snap = resolve_snapshot(*win, req, error);
   if (!snap) return error;
-  std::size_t retained_lo = 0, retained_hi = 0, ticks = 0, requests = 0;
-  {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    ++counters_.status;
-    retained_lo = history_.front()->hour;
-    retained_hi = history_.back()->hour;
-    ticks = counters_.ticks;
-    requests = counters_.requests;
-  }
+  counters_.status.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t retained_lo = win->front()->hour;
+  const std::size_t retained_hi = win->back()->hour;
+  const std::uint64_t ticks =
+      counters_.ticks.load(std::memory_order_relaxed);
+  const std::uint64_t requests =
+      counters_.requests.load(std::memory_order_relaxed);
   Json reply;
   reply.set("ok", Json(true));
   reply.set("op", Json("status"));
@@ -349,18 +379,15 @@ std::string MtdDaemon::reply_status(const Request& req) {
 }
 
 std::string MtdDaemon::reply_metrics(const Request& req) {
-  DaemonCounters c;
-  std::uint64_t lat_count = 0, buckets[6];
-  double lat_sum = 0.0, lat_max = 0.0;
-  {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    ++counters_.metrics;
-    c = counters_;
-    lat_count = latency_count_;
-    lat_sum = latency_sum_us_;
-    lat_max = latency_max_us_;
-    for (int i = 0; i < 6; ++i) buckets[i] = latency_buckets_[i];
-  }
+  counters_.metrics.fetch_add(1, std::memory_order_relaxed);
+  const DaemonCounters c = counters();
+  std::uint64_t buckets[6];
+  const std::uint64_t lat_count =
+      latency_count_.load(std::memory_order_relaxed);
+  const double lat_sum = latency_sum_us_.load(std::memory_order_relaxed);
+  const double lat_max = latency_max_us_.load(std::memory_order_relaxed);
+  for (int i = 0; i < 6; ++i)
+    buckets[i] = latency_buckets_[i].load(std::memory_order_relaxed);
   Json reply;
   reply.set("ok", Json(true));
   reply.set("op", Json("metrics"));
@@ -418,10 +445,13 @@ std::string MtdDaemon::reply_shutdown(const Request& req) {
 }
 
 void MtdDaemon::record_latency(double micros) {
-  std::lock_guard<std::mutex> lock(state_mutex_);
-  ++latency_count_;
-  latency_sum_us_ += micros;
-  if (micros > latency_max_us_) latency_max_us_ = micros;
+  latency_count_.fetch_add(1, std::memory_order_relaxed);
+  latency_sum_us_.fetch_add(micros, std::memory_order_relaxed);
+  double prev = latency_max_us_.load(std::memory_order_relaxed);
+  while (micros > prev &&
+         !latency_max_us_.compare_exchange_weak(prev, micros,
+                                                std::memory_order_relaxed)) {
+  }
   int bucket = 5;
   for (int i = 0; i < 5; ++i) {
     if (micros <= kLatencyBucketsUs[i]) {
@@ -429,7 +459,7 @@ void MtdDaemon::record_latency(double micros) {
       break;
     }
   }
-  ++latency_buckets_[bucket];
+  latency_buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace mtdgrid::serve

@@ -2,11 +2,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "estimation/bdd.hpp"
 #include "estimation/state_estimator.hpp"
@@ -14,6 +14,7 @@
 #include "grid/power_system.hpp"
 #include "mtd/daily.hpp"
 #include "serve/protocol.hpp"
+#include "serve/service.hpp"
 #include "stats/rng.hpp"
 
 namespace mtdgrid::serve {
@@ -40,9 +41,9 @@ struct DaemonOptions {
 
 /// Immutable snapshot of one keyed hour: everything a request needs,
 /// bundled so a reader never observes a half-applied key change — the
-/// re-keying tick builds the next snapshot completely, then swaps a
-/// `shared_ptr` under the state lock, and in-flight readers keep their
-/// reference alive for as long as they need it.
+/// re-keying tick builds the next snapshot completely, then atomically
+/// publishes a new retention window containing it, and in-flight readers
+/// keep their reference alive for as long as they need it.
 struct HourKeySnapshot {
   std::size_t hour = 0;        ///< absolute virtual-clock hour
   std::size_t trace_hour = 0;  ///< hour % hours_per_day
@@ -80,23 +81,32 @@ struct DaemonCounters {
 /// architecture" — `dispatch`, `detect`, `probe`, `status`, `metrics`,
 /// `tick`, `shutdown`. `examples/mtd_daemon` serves `handle_line` over a
 /// loopback socket (`serve::SocketServer`); tests and benchmarks call it
-/// in-process — one code path either way.
+/// in-process — one code path either way. A `ShardedDaemon` routes to N
+/// of these, one per shard.
 ///
-/// Concurrency contract: `handle_line` and `tick` may be called from any
-/// thread; execution serializes on an internal lock (the library's
-/// `core::ThreadPool` allows one parallel region at a time, and the
-/// Monte-Carlo `detect` method plus every re-keying step fan out on it).
-/// Hourly key state is published as immutable `HourKeySnapshot`s swapped
-/// under a separate state lock, so a request pinned to hour `t` returns
-/// byte-identical replies whether or not a re-keying tick is racing it.
+/// Concurrency contract (DESIGN.md "Fleet sharding"): `handle_line` and
+/// `tick` may be called from any thread. Read verbs — `status`,
+/// `metrics`, plain/analytic `detect`, `probe`, `shutdown` — take no
+/// lock at all: they atomically load the published retention window of
+/// immutable `HourKeySnapshot`s and answer from it, so reads scale with
+/// cores and keep answering while a tick holds the write lock. Write
+/// verbs — `tick`, `dispatch` — and the Monte-Carlo `detect` method
+/// (which fans out on the shared `core::ThreadPool`) serialize on the
+/// per-daemon `exec_lock()`. Counters are relaxed atomics; for a fixed
+/// sequential transcript they remain a pure function of that transcript.
 /// All randomness is derived from counter-based substreams of
 /// `DaemonOptions::seed` — replies are bit-identical for any thread
 /// count and any interleaving of queries with re-keying.
 ///
 /// \see mtd::DailyEngine for the re-keying core this daemon drives, and
 /// mtd::run_daily_simulation for the batch form of the same loop.
-class MtdDaemon {
+class MtdDaemon : public LineService {
  public:
+  /// The daemon's write lock, exposed so the fleet's broadcast tick can
+  /// pre-acquire every shard's lock (in shard order) before fanning out,
+  /// and so tests can pin the lock while probing the lock-free read path.
+  using ExecLock = std::unique_lock<std::mutex>;
+
   /// Builds the daemon around an explicit system and trace, runs the
   /// pass-1 baseline, and keys hour 0 (one initial tick), so the daemon
   /// serves immediately.
@@ -112,12 +122,29 @@ class MtdDaemon {
   /// reply line (without trailing newline). Blank lines return an empty
   /// string (no reply). Never throws: protocol failures come back as
   /// pinned `{"ok":false,...}` replies and the connection stays usable.
-  std::string handle_line(const std::string& line);
+  std::string handle_line(const std::string& line) override;
+
+  /// Serves one already-parsed request — counted, locked (or not) and
+  /// latency-tracked exactly like a `handle_line` call carrying the same
+  /// request. The fleet's routing layer parses each line once and
+  /// delegates here.
+  std::string serve_request(const Request& req);
 
   /// Advances the virtual clock one hour (the re-keying step), publishes
   /// the new hour's snapshot, and returns the new current hour. Thread-
   /// safe; serializes with request execution.
   std::size_t tick();
+
+  /// `tick` under a caller-held `exec_lock()` — the fleet's broadcast
+  /// tick acquires every shard's lock first, then advances all shards in
+  /// one parallel region (the lock stays owned by the acquiring thread
+  /// throughout; the engine work may run on a pool worker).
+  std::size_t tick(ExecLock& lock);
+
+  /// Acquires and returns this daemon's write lock. While held, `tick`,
+  /// `dispatch` and Monte-Carlo `detect` block; lock-free read verbs
+  /// keep answering from the published snapshots.
+  ExecLock exec_lock() const { return ExecLock(exec_mutex_); }
 
   /// The current (most recently keyed) virtual-clock hour.
   std::size_t current_hour() const;
@@ -129,7 +156,7 @@ class MtdDaemon {
   /// Snapshot of a pinned hour, or null when that hour is not retained.
   std::shared_ptr<const HourKeySnapshot> snapshot_at(std::size_t hour) const;
 
-  /// Current counters (copied under the state lock).
+  /// Point-in-time copy of the counters (relaxed atomic loads).
   DaemonCounters counters() const;
 
   /// Marks the daemon as shutting down (the `shutdown` verb does this
@@ -138,7 +165,7 @@ class MtdDaemon {
   void request_shutdown() { shutdown_.store(true); }
 
   /// True once a shutdown was requested.
-  bool shutdown_requested() const { return shutdown_.load(); }
+  bool shutdown_requested() const override { return shutdown_.load(); }
 
   /// The daemon's options (immutable after construction).
   const DaemonOptions& options() const { return options_; }
@@ -147,12 +174,22 @@ class MtdDaemon {
   const std::string& case_name() const { return case_name_; }
 
  private:
+  /// The published retention window: oldest..newest retained snapshots.
+  /// Immutable once published — a tick builds a fresh vector and swaps
+  /// the pointer atomically, so lock-free readers see a consistent
+  /// window (single writer: the `exec_lock()` holder).
+  using SnapshotWindow = std::vector<std::shared_ptr<const HourKeySnapshot>>;
+
   // Delegation helper for the name-loading constructor: the case is
   // loaded once and feeds both the system and its default trace.
   MtdDaemon(std::pair<grid::PowerSystem, grid::DailyLoadTrace> loaded,
             DaemonOptions options);
 
   std::string handle_request(const Request& req);
+  /// True when serving `req` mutates engine state or fans out on the
+  /// shared thread pool — those verbs take `exec_mutex_`; all others run
+  /// lock-free off the published snapshot window.
+  static bool needs_exec_lock(const Request& req);
   /// Serializes an error reply and counts it — every error path funnels
   /// through here so `DaemonCounters::errors` cannot drift from what the
   /// wire actually carried.
@@ -166,10 +203,16 @@ class MtdDaemon {
   std::string reply_tick(const Request& req);
   std::string reply_shutdown(const Request& req);
   std::size_t tick_locked();
-  /// Resolves the snapshot a request addresses, or returns an error
-  /// reply string via `error` (counted like every error reply).
+  /// The current retention window (never null, never empty after
+  /// construction).
+  std::shared_ptr<const SnapshotWindow> window() const {
+    return history_.load();
+  }
+  /// Resolves the snapshot a request addresses within `window`, or
+  /// returns an error reply string via `error` (counted like every error
+  /// reply).
   std::shared_ptr<const HourKeySnapshot> resolve_snapshot(
-      const Request& req, std::string& error);
+      const SnapshotWindow& window, const Request& req, std::string& error);
   void record_latency(double micros);
 
   DaemonOptions options_;
@@ -179,15 +222,32 @@ class MtdDaemon {
   std::uint64_t probe_root_ = 0;   // substream family of `probe`
   std::uint64_t detect_root_ = 0;  // substream family of mc `detect`
 
-  mutable std::mutex exec_mutex_;   // serializes verb execution + ticks
-  mutable std::mutex state_mutex_;  // guards history_/counters_/latency
-  std::deque<std::shared_ptr<const HourKeySnapshot>> history_;
-  DaemonCounters counters_;
-  // Latency accumulator (service time of handled lines, microseconds).
-  std::uint64_t latency_count_ = 0;
-  double latency_sum_us_ = 0.0;
-  double latency_max_us_ = 0.0;
-  std::uint64_t latency_buckets_[6] = {0, 0, 0, 0, 0, 0};
+  /// Serializes the write verbs (`tick`, `dispatch`, Monte-Carlo
+  /// `detect`); never touched by the lock-free read path.
+  mutable std::mutex exec_mutex_;
+  /// Atomically published retention window; written only under
+  /// `exec_mutex_`, loaded without any lock by readers.
+  std::atomic<std::shared_ptr<const SnapshotWindow>> history_;
+
+  /// Relaxed-atomic mirror of `DaemonCounters` (lock-free increments).
+  struct AtomicCounters {
+    std::atomic<std::uint64_t> requests{0};  ///< lines handled
+    std::atomic<std::uint64_t> errors{0};    ///< error replies sent
+    std::atomic<std::uint64_t> ticks{0};     ///< re-keying steps
+    std::atomic<std::uint64_t> dispatch{0};  ///< dispatch served
+    std::atomic<std::uint64_t> detect{0};    ///< detect served
+    std::atomic<std::uint64_t> probe{0};     ///< probe served
+    std::atomic<std::uint64_t> status{0};    ///< status served
+    std::atomic<std::uint64_t> metrics{0};   ///< metrics served
+  };
+  AtomicCounters counters_;
+
+  // Latency accumulator (service time of handled lines, microseconds);
+  // relaxed atomics so the lock-free read path records without a lock.
+  std::atomic<std::uint64_t> latency_count_{0};
+  std::atomic<double> latency_sum_us_{0.0};
+  std::atomic<double> latency_max_us_{0.0};
+  std::atomic<std::uint64_t> latency_buckets_[6] = {};
 
   std::atomic<bool> shutdown_{false};
 };

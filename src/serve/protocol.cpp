@@ -53,6 +53,12 @@ ParseOutcome parse_request(const std::string& line) {
   }
   if (!doc.is_object())
     return bad_request("request must be a JSON object");
+  return parse_request(doc);
+}
+
+ParseOutcome parse_request(const Json& doc) {
+  if (!doc.is_object())
+    return bad_request("request must be a JSON object");
 
   const Json* op = doc.find("op");
   if (op == nullptr) return bad_request("missing \"op\"");
@@ -127,6 +133,21 @@ ParseOutcome parse_request(const std::string& line) {
       return bad_request("\"latency\" must be a boolean");
     req.include_latency = latency->as_bool();
   }
+  if (const Json* shard = doc.find("shard"); shard != nullptr) {
+    std::uint64_t s = 0;
+    if (!as_nonneg_integer(*shard, s))
+      return bad_request("\"shard\" must be a non-negative integer");
+    req.has_shard = true;
+    req.shard = static_cast<std::size_t>(s);
+  }
+  if (const Json* case_name = doc.find("case"); case_name != nullptr) {
+    if (!case_name->is_string())
+      return bad_request("\"case\" must be a string");
+    req.has_case = true;
+    req.case_name = case_name->as_string();
+  }
+  if (req.has_shard && req.has_case)
+    return bad_request("give \"shard\" or \"case\", not both");
   return req;
 }
 

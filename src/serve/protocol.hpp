@@ -36,7 +36,9 @@ enum class DetectMethod {
 /// (default: current); `z` is the measurement vector for `detect`
 /// (default: the hour's noiseless reference); `trials` sizes the
 /// Monte-Carlo method; `include_latency` asks `metrics` for the (non-
-/// deterministic) latency histogram.
+/// deterministic) latency histogram; `shard`/`case_name` route the
+/// request inside a `ShardedDaemon` fleet (a single `MtdDaemon` accepts
+/// and ignores them — it is the degenerate one-shard fleet).
 struct Request {
   Verb verb = Verb::kStatus;      ///< the request verb
   bool has_id = false;            ///< true when the line carried "id"
@@ -48,11 +50,15 @@ struct Request {
   DetectMethod method = DetectMethod::kBdd;  ///< detect scoring method
   int trials = 400;               ///< Monte-Carlo noise draws
   bool include_latency = false;   ///< metrics: include latency histogram
+  bool has_shard = false;         ///< true when the line carried "shard"
+  std::size_t shard = 0;          ///< fleet shard index (routing)
+  bool has_case = false;          ///< true when the line carried "case"
+  std::string case_name;          ///< fleet case name (routing)
 };
 
 /// A protocol-level failure: the pinned machine-readable `code` (one of
-/// "parse", "bad-request", "unknown-op", "bad-hour", "not-keyed",
-/// "internal") plus a human-readable message. Serialized by
+/// "parse", "bad-request", "unknown-op", "bad-hour", "bad-shard",
+/// "not-keyed", "internal") plus a human-readable message. Serialized by
 /// `error_reply`; the exact strings are part of the wire contract and
 /// pinned by tests/serve/protocol conventions.
 struct ProtocolError {
@@ -69,6 +75,12 @@ using ParseOutcome = std::variant<Request, ProtocolError>;
 /// a missing/unknown op, and ill-typed fields return the corresponding
 /// ProtocolError instead of throwing.
 ParseOutcome parse_request(const std::string& line);
+
+/// Parses an already-decoded request object (the fleet's routing layer
+/// decodes each line — or each batch element — exactly once and
+/// validates fields through this overload). Same contract as the string
+/// overload minus the JSON decoding step.
+ParseOutcome parse_request(const Json& doc);
 
 /// The wire name of a verb ("dispatch", "detect", ...).
 const char* verb_name(Verb verb);

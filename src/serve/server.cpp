@@ -6,9 +6,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 
 namespace mtdgrid::serve {
@@ -33,8 +35,8 @@ bool send_all(int fd, const std::string& data) {
 
 }  // namespace
 
-SocketServer::SocketServer(MtdDaemon& daemon, std::uint16_t port)
-    : daemon_(daemon) {
+SocketServer::SocketServer(LineService& service, std::uint16_t port)
+    : service_(service) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0)
     throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
@@ -54,7 +56,12 @@ SocketServer::SocketServer(MtdDaemon& daemon, std::uint16_t port)
     listen_fd_ = -1;
     throw std::runtime_error(what);
   }
-  if (::listen(listen_fd_, 16) != 0) {
+  // listen() must directly follow bind(): the port becomes observable
+  // only below (getsockname / the constructor returning), so by the time
+  // any client can learn it the socket already queues connections — the
+  // ephemeral-port tests connect the instant construction finishes. A
+  // full-depth backlog absorbs loadgen-style connection bursts.
+  if (::listen(listen_fd_, SOMAXCONN) != 0) {
     const std::string what = std::string("listen: ") + std::strerror(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -87,22 +94,39 @@ void SocketServer::reap_finished_locked() {
 void SocketServer::accept_loop() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (fd < 0) {
-      if (stopping_) return;
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      return;  // listener gone — stop accepting
+    const int accept_errno = errno;
+    bool backoff = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (fd < 0) {
+        if (stopping_) return;
+        if (accept_errno == EINTR || accept_errno == ECONNABORTED) continue;
+        if (accept_errno == EMFILE || accept_errno == ENFILE ||
+            accept_errno == ENOBUFS || accept_errno == ENOMEM ||
+            accept_errno == EPROTO || accept_errno == ENETDOWN) {
+          // Transient resource exhaustion (fd limits, kernel memory) or
+          // a peer-aborted handshake: a long-lived daemon must keep its
+          // listener alive rather than silently stop accepting forever.
+          backoff = true;  // sleep outside the lock, then retry
+        } else {
+          return;  // listener gone — stop accepting
+        }
+      } else {
+        if (stopping_) {
+          ::close(fd);
+          return;
+        }
+        reap_finished_locked();
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        Connection* raw = conn.get();
+        connections_.push_back(std::move(conn));
+        raw->thread = std::thread([this, raw] { serve_connection(raw); });
+      }
     }
-    if (stopping_) {
-      ::close(fd);
-      return;
-    }
-    reap_finished_locked();
-    auto conn = std::make_unique<Connection>();
-    conn->fd = fd;
-    Connection* raw = conn.get();
-    connections_.push_back(std::move(conn));
-    raw->thread = std::thread([this, raw] { serve_connection(raw); });
+    // Brief backoff so a blocking accept cannot spin hot on a persistent
+    // EMFILE; stop() still proceeds concurrently (lock released above).
+    if (backoff) std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
 }
 
@@ -121,14 +145,14 @@ void SocketServer::serve_connection(Connection* conn) {
       if (nl == std::string::npos) break;
       const std::string line = buffer.substr(start, nl - start);
       start = nl + 1;
-      const std::string reply = daemon_.handle_line(line);
+      const std::string reply = service_.handle_line(line);
       if (!reply.empty() && !send_all(fd, reply + "\n")) {
         // A peer that can no longer receive replies must not keep
         // driving state-mutating verbs: drop the whole connection.
         peer_gone = true;
         break;
       }
-      if (daemon_.shutdown_requested()) {
+      if (service_.shutdown_requested()) {
         // Wake wait(); teardown happens there (or in the destructor) —
         // this thread cannot join itself.
         std::lock_guard<std::mutex> lock(mutex_);

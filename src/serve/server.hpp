@@ -8,28 +8,32 @@
 #include <thread>
 #include <vector>
 
-#include "serve/daemon.hpp"
+#include "serve/service.hpp"
 
 namespace mtdgrid::serve {
 
-/// Loopback TCP transport for `MtdDaemon`'s newline-delimited-JSON
-/// protocol: listens on 127.0.0.1, accepts any number of concurrent
-/// connections, and for every received line sends back
-/// `daemon.handle_line(line)` plus a newline. Requests from all
-/// connections funnel into the daemon, which serializes execution (see
-/// `MtdDaemon`); per connection, replies come back in request order.
+/// Loopback TCP transport for the newline-delimited-JSON protocol:
+/// listens on 127.0.0.1, accepts any number of concurrent connections,
+/// and for every received line sends back `service.handle_line(line)`
+/// plus a newline. Serves any `LineService` — a single `MtdDaemon` or a
+/// `ShardedDaemon` fleet — whose own locking decides what runs
+/// concurrently; per connection, replies come back in request order.
 ///
-/// Lifecycle: the constructor binds and starts accepting (throwing
-/// std::runtime_error on bind failure); `wait()` blocks until a client
-/// sends the `shutdown` verb or another thread calls `stop()`; the
-/// destructor stops and joins everything. Malformed lines produce pinned
-/// error replies and leave the connection open — only client close,
-/// `stop()`, or shutdown ends it.
+/// Lifecycle: the constructor binds, listens, and starts accepting
+/// (throwing std::runtime_error on bind failure); the listener enters
+/// the LISTEN state *before* the constructor returns or `port()` can be
+/// observed, so a client may connect the instant construction finishes —
+/// there is no bind-then-listen window in which a discovered port
+/// refuses connections. `wait()` blocks until a client sends the
+/// `shutdown` verb or another thread calls `stop()`; the destructor
+/// stops and joins everything. Malformed lines produce pinned error
+/// replies and leave the connection open — only client close, `stop()`,
+/// or shutdown ends it.
 class SocketServer {
  public:
-  /// Binds 127.0.0.1:`port` (0 = kernel-assigned, see `port()`) and
-  /// starts the accept loop.
-  SocketServer(MtdDaemon& daemon, std::uint16_t port);
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned, see `port()`), enters
+  /// LISTEN, and starts the accept loop.
+  SocketServer(LineService& service, std::uint16_t port);
 
   /// Stops and joins all threads.
   ~SocketServer();
@@ -65,7 +69,7 @@ class SocketServer {
   void serve_connection(Connection* conn);
   void reap_finished_locked();
 
-  MtdDaemon& daemon_;
+  LineService& service_;
   std::uint16_t port_ = 0;
   int listen_fd_ = -1;
 

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+namespace mtdgrid::serve {
+
+/// The transport-facing contract a daemon exposes: one reply line per
+/// request line. `serve::SocketServer` serves any LineService over a
+/// loopback socket, so a single `MtdDaemon` and a multi-case
+/// `ShardedDaemon` share one transport path (DESIGN.md "Fleet
+/// sharding").
+class LineService {
+ public:
+  virtual ~LineService() = default;
+
+  /// Handles one request line (without trailing newline) and returns the
+  /// reply line (without trailing newline; empty string = no reply).
+  /// Must be callable from any number of transport threads concurrently
+  /// and must never throw: protocol failures come back as pinned
+  /// `{"ok":false,...}` replies.
+  virtual std::string handle_line(const std::string& line) = 0;
+
+  /// True once a `shutdown` verb was served; the transport layer polls
+  /// this and stops accepting new work.
+  virtual bool shutdown_requested() const = 0;
+};
+
+}  // namespace mtdgrid::serve

@@ -1,0 +1,160 @@
+#include "serve/sharded.hpp"
+
+#include <stdexcept>
+
+#include "core/parallel.hpp"
+#include "stats/rng.hpp"
+
+namespace mtdgrid::serve {
+
+namespace {
+
+/// Per-shard daemon options: shard k serves the root seed's substream
+/// `stream_seed(seed, k)` — the contract that makes a shard's
+/// transcript independent of its neighbours (DESIGN.md "Fleet
+/// sharding").
+DaemonOptions shard_options(const ShardedOptions& options,
+                            std::size_t shard) {
+  DaemonOptions o;
+  o.case_name = options.cases.at(shard);
+  o.seed = stats::stream_seed(options.seed, shard);
+  o.history_hours = options.history_hours;
+  o.daily = options.daily;
+  return o;
+}
+
+void require_shards(const ShardedOptions& options) {
+  if (options.cases.empty())
+    throw std::invalid_argument(
+        "ShardedDaemon: options.cases must name at least one shard");
+}
+
+}  // namespace
+
+ShardedDaemon::ShardedDaemon(const ShardedOptions& options) {
+  require_shards(options);
+  shards_.reserve(options.cases.size());
+  for (std::size_t k = 0; k < options.cases.size(); ++k)
+    shards_.push_back(std::make_unique<MtdDaemon>(shard_options(options, k)));
+}
+
+ShardedDaemon::ShardedDaemon(
+    std::vector<std::pair<grid::PowerSystem, grid::DailyLoadTrace>> systems,
+    const ShardedOptions& options) {
+  require_shards(options);
+  if (systems.size() != options.cases.size())
+    throw std::invalid_argument(
+        "ShardedDaemon: one options.cases entry per system required");
+  shards_.reserve(systems.size());
+  for (std::size_t k = 0; k < systems.size(); ++k)
+    shards_.push_back(std::make_unique<MtdDaemon>(
+        std::move(systems[k].first), std::move(systems[k].second),
+        shard_options(options, k)));
+}
+
+std::string ShardedDaemon::handle_line(const std::string& line) {
+  std::string trimmed = line;
+  while (!trimmed.empty() &&
+         (trimmed.back() == '\r' || trimmed.back() == '\n'))
+    trimmed.pop_back();
+  if (trimmed.find_first_not_of(" \t") == std::string::npos) return "";
+
+  Json doc;
+  try {
+    doc = Json::parse(trimmed);
+  } catch (const JsonError& e) {
+    return error_reply(
+        {"parse", std::string("invalid JSON: ") + e.what()});
+  }
+  if (doc.is_object()) return route_and_serve(doc);
+  if (!doc.is_array())
+    return error_reply(
+        {"bad-request", "request must be a JSON object or array"});
+
+  // Batch: route and serve each element in input order; the reply is
+  // the array of individual replies, byte-identical to sending the
+  // elements one per line.
+  const Json::Array& batch = doc.as_array();
+  if (batch.empty())
+    return error_reply({"bad-request", "batch must not be empty"});
+  std::string reply = "[";
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (i > 0) reply += ',';
+    reply += route_and_serve(batch[i]);
+  }
+  reply += ']';
+  return reply;
+}
+
+std::string ShardedDaemon::route_and_serve(const Json& doc) {
+  ParseOutcome outcome = parse_request(doc);
+  if (const ProtocolError* err = std::get_if<ProtocolError>(&outcome))
+    return error_reply(*err);
+  const Request& req = std::get<Request>(outcome);
+
+  std::size_t target = 0;
+  if (req.has_shard) {
+    if (req.shard >= shards_.size())
+      return error_reply(
+          {"bad-shard", "shard " + std::to_string(req.shard) +
+                            " is not served (shards: 0.." +
+                            std::to_string(shards_.size() - 1) + ")"});
+    target = req.shard;
+  } else if (req.has_case) {
+    std::size_t found = shards_.size();
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      if (shards_[k]->case_name() == req.case_name) {
+        found = k;
+        break;
+      }
+    }
+    if (found == shards_.size())
+      return error_reply({"bad-shard", "case \"" + req.case_name +
+                                           "\" is not served"});
+    target = found;
+  } else if (req.verb == Verb::kTick) {
+    // Unrouted tick: broadcast to every shard in one parallel region.
+    const std::vector<std::size_t> hours = tick_all();
+    Json reply;
+    reply.set("ok", Json(true));
+    reply.set("op", Json("tick"));
+    if (req.has_id) reply.set("id", Json(req.id));
+    Json hours_json{Json::Array{}};
+    Json keyed_json{Json::Array{}};
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      hours_json.push_back(Json(hours[k]));
+      keyed_json.push_back(Json(shards_[k]->current_snapshot()->keyed));
+    }
+    reply.set("hours", std::move(hours_json));
+    reply.set("keyed", std::move(keyed_json));
+    return reply.dump();
+  }
+
+  std::string reply = shards_[target]->serve_request(req);
+  // A shutdown served by any shard shuts the whole fleet down: the
+  // transport layer watches the fleet flag, not the shards'.
+  if (req.verb == Verb::kShutdown) request_shutdown();
+  return reply;
+}
+
+std::vector<std::size_t> ShardedDaemon::tick_all() {
+  // Acquire every shard's write lock in shard order BEFORE entering the
+  // parallel region. Lock order is shard locks -> pool region, the same
+  // order every other pool user observes (a Monte-Carlo detect holds
+  // one shard lock, then waits for the pool), so no cycle can form.
+  std::vector<MtdDaemon::ExecLock> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.push_back(shard->exec_lock());
+  std::vector<std::size_t> hours(shards_.size());
+  core::parallel_for(shards_.size(), [&](std::size_t k) {
+    hours[k] = shards_[k]->tick(locks[k]);
+  });
+  return hours;
+}
+
+void ShardedDaemon::request_shutdown() {
+  shutdown_.store(true);
+  for (const auto& shard : shards_) shard->request_shutdown();
+}
+
+}  // namespace mtdgrid::serve

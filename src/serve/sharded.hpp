@@ -1,0 +1,107 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "grid/load_trace.hpp"
+#include "grid/power_system.hpp"
+#include "mtd/daily.hpp"
+#include "serve/daemon.hpp"
+#include "serve/service.hpp"
+
+namespace mtdgrid::serve {
+
+/// Options of the serving fleet: one shard per entry of `cases` (repeat
+/// a name to serve several independent copies of the same case). Each
+/// shard gets the root seed substream `stream_seed(seed, shard)`, so a
+/// shard's transcript is bit-identical whether it runs alone (a single
+/// `MtdDaemon` built with that seed) or inside the fleet.
+struct ShardedOptions {
+  /// Case name or `.m` path per shard, resolved through `io::load_case`
+  /// by the name-loading constructor (ignored by the system-loading
+  /// one, which takes explicit systems but still names one entry per
+  /// shard for `case` routing).
+  std::vector<std::string> cases = {"case14"};
+  /// Fleet root seed; shard k serves from `stream_seed(seed, k)`.
+  std::uint64_t seed = 7;
+  /// Retained key snapshots per shard (>= 1), as `DaemonOptions`.
+  std::size_t history_hours = 24;
+  /// Re-keying targets and budgets, shared by every shard.
+  mtd::DailySimulationOptions daily;
+};
+
+/// A multi-tenant serving fleet (ROADMAP "Fleet-scale serving"): N
+/// independent `MtdDaemon` shards behind one `LineService` front door.
+/// The routing grammar (DESIGN.md "Fleet sharding"):
+///
+///  - `"shard": k` routes a request to shard k; `"case": name` routes to
+///    the first shard serving that case; giving both is an error; giving
+///    neither routes to shard 0 — except `tick`, which broadcasts.
+///  - An unrouted `tick` advances ALL shards in one parallel region
+///    (each shard's write lock is pre-acquired in shard order, then the
+///    fan-out runs on the shared `core::ThreadPool`) and replies
+///    `{"ok":true,"op":"tick","hours":[...],"keyed":[...]}`.
+///  - A JSON *array* line is a batch: each element is routed and served
+///    in input order and the reply is the array of the individual
+///    replies — byte-identical to sending the elements one per line.
+///  - Unknown shards/cases get the pinned `"bad-shard"` error code.
+///
+/// Concurrency: `handle_line` may be called from any number of
+/// transport threads. Shards never share mutable state — read verbs run
+/// lock-free inside the routed shard, write verbs serialize on that
+/// shard's own lock only — so one shard's load never perturbs another
+/// shard's replies (the shard-isolation tests pin this bit-exactly).
+/// Routing-layer failures (unparseable lines, unknown shards) are
+/// answered by the fleet itself and attributed to no shard's counters.
+class ShardedDaemon : public LineService {
+ public:
+  /// Loads `options.cases` through `io::load_case` (each with its
+  /// default daemon trace) and keys hour 0 of every shard.
+  explicit ShardedDaemon(const ShardedOptions& options);
+
+  /// Builds the fleet around explicit per-shard systems and traces
+  /// (tests use this to skip case-file loading). `options.cases` must
+  /// name one entry per system; names feed `case` routing and replies.
+  ShardedDaemon(
+      std::vector<std::pair<grid::PowerSystem, grid::DailyLoadTrace>> systems,
+      const ShardedOptions& options);
+
+  /// Handles one request line — object or batch array — and returns the
+  /// reply line. Never throws; see the class comment for the grammar.
+  std::string handle_line(const std::string& line) override;
+
+  /// Advances every shard one hour in one parallel region and returns
+  /// the new current hour per shard (shard order). Equivalent to — and
+  /// bit-identical with — ticking each shard individually.
+  std::vector<std::size_t> tick_all();
+
+  /// Number of shards (fixed at construction, >= 1).
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Direct access to shard `k` (valid for k < num_shards()).
+  MtdDaemon& shard(std::size_t k) { return *shards_[k]; }
+
+  /// Const access to shard `k` (valid for k < num_shards()).
+  const MtdDaemon& shard(std::size_t k) const { return *shards_[k]; }
+
+  /// Marks the fleet — and every shard — as shutting down.
+  void request_shutdown();
+
+  /// True once a `shutdown` verb was served (any shard) or
+  /// `request_shutdown` was called.
+  bool shutdown_requested() const override { return shutdown_.load(); }
+
+ private:
+  /// Routes one decoded request object to its shard and serves it;
+  /// routing failures come back as fleet-level error replies.
+  std::string route_and_serve(const Json& doc);
+
+  std::vector<std::unique_ptr<MtdDaemon>> shards_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace mtdgrid::serve

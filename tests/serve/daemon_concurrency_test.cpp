@@ -12,6 +12,7 @@
 
 #include "core/thread_pool.hpp"
 #include "serve/daemon.hpp"
+#include "serve/json.hpp"
 #include "serve_test_util.hpp"
 
 namespace mtdgrid::serve {
@@ -81,6 +82,70 @@ TEST(ServeDaemonDeterminismTest, DetectRacingTickMatchesQuiescedRun) {
   for (const std::string& reply : got_detect) EXPECT_EQ(reply, want_detect);
   for (const std::string& reply : got_probe) EXPECT_EQ(reply, want_probe);
   EXPECT_EQ(racing->current_hour(), 2u);
+}
+
+/// The lock-free read contract, enforced directly: status, probe, and
+/// the bdd/analytic detects answer off the atomically published
+/// snapshot window WITHOUT touching the exec lock. The test thread
+/// holds the daemon's own write lock while issuing reads on the same
+/// thread — an implementation that locked the read path would deadlock
+/// right here (the ctest TIMEOUT is the backstop).
+TEST(ServeDaemonLockFreeReadTest, ReadsAnswerWhileWriteLockIsHeld) {
+  const std::unique_ptr<MtdDaemon> daemon = test::make_fast_daemon();
+  const std::string want_status = daemon->handle_line(R"({"op":"status"})");
+  {
+    const MtdDaemon::ExecLock held = daemon->exec_lock();
+    const Json status =
+        Json::parse(daemon->handle_line(R"({"op":"status"})"));
+    EXPECT_TRUE(status.find("ok")->as_bool());
+    EXPECT_EQ(status.find("hour")->as_number(), 0.0);
+    const Json probe =
+        Json::parse(daemon->handle_line(R"({"op":"probe","id":2})"));
+    EXPECT_TRUE(probe.find("ok")->as_bool());
+    const Json detect = Json::parse(daemon->handle_line(
+        R"({"op":"detect","id":3,"method":"analytic"})"));
+    EXPECT_TRUE(detect.find("ok")->as_bool());
+    const Json metrics =
+        Json::parse(daemon->handle_line(R"({"op":"metrics"})"));
+    EXPECT_TRUE(metrics.find("ok")->as_bool());
+  }
+  // With the lock released the write verbs work again.
+  const Json tick = Json::parse(daemon->handle_line(R"({"op":"tick"})"));
+  EXPECT_TRUE(tick.find("ok")->as_bool());
+  EXPECT_EQ(tick.find("hour")->as_number(), 1.0);
+}
+
+/// While a long tick holds the write lock on another thread, reads keep
+/// answering from the snapshot pinned before the tick: the stale-hour
+/// reply carries the pinned "hour" until the tick publishes, and no
+/// reader ever blocks behind the writer.
+TEST(ServeDaemonLockFreeReadTest, ReadsServePinnedSnapshotDuringTick) {
+  const std::unique_ptr<MtdDaemon> daemon = test::make_fast_daemon();
+  {
+    // Stand in for an in-flight tick: the exec lock is held, hour-0
+    // state is still published. Reads must come back (same thread =
+    // deadlock would hang) with the pinned hour.
+    const MtdDaemon::ExecLock held = daemon->exec_lock();
+    const Json status =
+        Json::parse(daemon->handle_line(R"({"op":"status"})"));
+    EXPECT_EQ(status.find("hour")->as_number(), 0.0);
+    const Json pinned = Json::parse(
+        daemon->handle_line(R"({"op":"probe","id":4,"hour":0})"));
+    EXPECT_EQ(pinned.find("hour")->as_number(), 0.0);
+  }
+  // Now run a real tick on a second thread and reads from this one until
+  // it publishes: every reply is coherent — hour 0 before, hour 1 after,
+  // nothing in between.
+  std::thread ticker([&] { daemon->tick(); });
+  for (;;) {
+    const Json status =
+        Json::parse(daemon->handle_line(R"({"op":"status"})"));
+    const double hour = status.find("hour")->as_number();
+    EXPECT_TRUE(hour == 0.0 || hour == 1.0) << "hour " << hour;
+    if (hour == 1.0) break;
+  }
+  ticker.join();
+  EXPECT_EQ(daemon->current_hour(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,183 @@
+// Property tests for the serve/ JSON codec: seeded random value trees
+// must round-trip byte-identically through dump -> parse -> dump. The
+// daemon's transcript determinism (and the sharded fleet's batch
+// replies) lean on this stability, so it is pinned here directly with
+// deterministic pseudo-random inputs — same seed, same trees, every run
+// and every platform.
+
+#include "serve/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "stats/rng.hpp"
+
+namespace mtdgrid::serve {
+namespace {
+
+/// Appends `cp` (a Unicode scalar value) to `out` as UTF-8.
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
+/// A random string mixing plain ASCII, characters the serializer must
+/// escape (controls, quote, backslash), multi-byte UTF-8, and non-BMP
+/// code points (the ones a \u-escaped wire form spells as surrogate
+/// pairs).
+std::string random_string(stats::Rng& rng) {
+  const std::uint64_t len = rng.uniform_index(12);
+  std::string s;
+  for (std::uint64_t i = 0; i < len; ++i) {
+    switch (rng.uniform_index(6)) {
+      case 0:
+        s += static_cast<char>('a' + rng.uniform_index(26));
+        break;
+      case 1:  // must be \u00XX-escaped on output
+        append_utf8(s, static_cast<std::uint32_t>(rng.uniform_index(0x20)));
+        break;
+      case 2:
+        s += (rng.uniform_index(2) == 0) ? '"' : '\\';
+        break;
+      case 3:  // two-byte UTF-8 (Latin-1 supplement and friends)
+        append_utf8(s, 0x80 + static_cast<std::uint32_t>(
+                                  rng.uniform_index(0x700)));
+        break;
+      case 4:  // three-byte UTF-8, dodging the surrogate range
+        append_utf8(s, 0x1000 + static_cast<std::uint32_t>(
+                                    rng.uniform_index(0x8000)));
+        break;
+      default:  // non-BMP: emoji block and beyond
+        append_utf8(s, 0x10000 + static_cast<std::uint32_t>(
+                                     rng.uniform_index(0x10000)));
+        break;
+    }
+  }
+  return s;
+}
+
+/// A random finite double: mostly small "friendly" values, sometimes a
+/// raw 64-bit pattern reinterpreted as a double (the adversarial case
+/// for shortest-round-trip formatting).
+double random_number(stats::Rng& rng) {
+  if (rng.uniform_index(2) == 0)
+    return std::floor(rng.uniform(-1000.0, 1000.0) * 16.0) / 16.0;
+  for (;;) {
+    const double v = std::bit_cast<double>(rng.next_u64());
+    if (std::isfinite(v)) return v;
+  }
+}
+
+/// A random value tree of height <= `depth`.
+Json random_value(stats::Rng& rng, int depth) {
+  const std::uint64_t kind = rng.uniform_index(depth > 0 ? 6 : 4);
+  switch (kind) {
+    case 0:
+      return Json();
+    case 1:
+      return Json(rng.uniform_index(2) == 0);
+    case 2:
+      return Json(random_number(rng));
+    case 3:
+      return Json(random_string(rng));
+    case 4: {
+      Json arr{Json::Array{}};
+      const std::uint64_t n = rng.uniform_index(4);
+      for (std::uint64_t i = 0; i < n; ++i)
+        arr.push_back(random_value(rng, depth - 1));
+      return arr;
+    }
+    default: {
+      Json obj{Json::Object{}};
+      const std::uint64_t n = rng.uniform_index(4);
+      for (std::uint64_t i = 0; i < n; ++i)
+        obj.set(random_string(rng), random_value(rng, depth - 1));
+      return obj;
+    }
+  }
+}
+
+TEST(JsonPropertyTest, RandomTreesRoundTripByteIdentically) {
+  stats::Rng rng(0x4a50726f70ULL);  // fixed seed: same trees every run
+  for (int trial = 0; trial < 500; ++trial) {
+    const Json tree = random_value(rng, 5);
+    const std::string once = tree.dump();
+    const Json reparsed = Json::parse(once);
+    const std::string twice = reparsed.dump();
+    ASSERT_EQ(once, twice) << "trial " << trial;
+    // And idempotent from there on: the dumped form is a fixed point.
+    ASSERT_EQ(Json::parse(twice).dump(), twice) << "trial " << trial;
+  }
+}
+
+TEST(JsonPropertyTest, RandomDoublesRoundTripExactly) {
+  stats::Rng rng(0x646f75626cULL);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const double v = random_number(rng);
+    const std::string text = Json(v).dump();
+    const double back = Json::parse(text).as_number();
+    // Shortest-round-trip formatting (std::to_chars): bit-exact recovery.
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(back),
+              std::bit_cast<std::uint64_t>(v))
+        << "trial " << trial << " text " << text;
+  }
+}
+
+TEST(JsonPropertyTest, SurrogatePairEscapesRoundTrip) {
+  // U+1F600 arrives as a \u-escaped surrogate pair; the parser must
+  // combine the pair, and the serializer re-emits it as raw UTF-8
+  // (which then round-trips as-is).
+  const Json parsed = Json::parse("\"\\ud83d\\ude00\"");
+  EXPECT_EQ(parsed.as_string(), "\xF0\x9F\x98\x80");
+  const std::string dumped = parsed.dump();
+  EXPECT_EQ(dumped, "\"\xF0\x9F\x98\x80\"");
+  EXPECT_EQ(Json::parse(dumped).dump(), dumped);
+
+  // Lone or malformed surrogates are rejected, not silently passed on.
+  EXPECT_THROW(Json::parse(R"("\ud83d")"), JsonError);
+  EXPECT_THROW(Json::parse(R"("\ud83dxy")"), JsonError);
+  EXPECT_THROW(Json::parse(R"("\ud83dA")"), JsonError);
+}
+
+TEST(JsonPropertyTest, NestingDepthBoundaryIsExact) {
+  // The documented limit is 64 nesting levels. The top-level value sits
+  // at depth 0, so 65 brackets (depths 0..64) parse and 66 do not — and
+  // the accepted maximum still round-trips byte-identically.
+  const auto nested = [](int levels) {
+    std::string s(static_cast<std::size_t>(levels), '[');
+    s.append(static_cast<std::size_t>(levels), ']');
+    return s;
+  };
+  const std::string at_limit = nested(65);
+  EXPECT_EQ(Json::parse(at_limit).dump(), at_limit);
+  EXPECT_THROW(Json::parse(nested(66)), JsonError);
+}
+
+TEST(JsonPropertyTest, RandomStringsSurviveSerialization) {
+  stats::Rng rng(0x737472696eULL);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string s = random_string(rng);
+    const std::string wire = Json(s).dump();
+    EXPECT_EQ(Json::parse(wire).as_string(), s) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace mtdgrid::serve

@@ -1,10 +1,13 @@
 #pragma once
 
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "grid/cases.hpp"
 #include "grid/load_trace.hpp"
 #include "serve/daemon.hpp"
+#include "serve/sharded.hpp"
 
 namespace mtdgrid::serve::test {
 
@@ -30,6 +33,29 @@ inline std::unique_ptr<MtdDaemon> make_fast_daemon() {
   return std::make_unique<MtdDaemon>(
       grid::make_case14(), grid::DailyLoadTrace::nyiso_winter_weekday(),
       fast_daemon_options());
+}
+
+/// `fast_daemon_options` transplanted onto a `shards`-wide fleet: every
+/// shard is case14 on the NYISO trace, re-keying with the same reduced
+/// budgets. Root seed 11, so shard k runs seed `stream_seed(11, k)`.
+inline ShardedOptions fast_sharded_options(std::size_t shards) {
+  const DaemonOptions base = fast_daemon_options();
+  ShardedOptions options;
+  options.cases.assign(shards, "case14");
+  options.seed = base.seed;
+  options.history_hours = base.history_hours;
+  options.daily = base.daily;
+  return options;
+}
+
+/// A `shards`-wide fleet with `fast_sharded_options`.
+inline std::unique_ptr<ShardedDaemon> make_fast_fleet(std::size_t shards) {
+  std::vector<std::pair<grid::PowerSystem, grid::DailyLoadTrace>> systems;
+  for (std::size_t k = 0; k < shards; ++k)
+    systems.emplace_back(grid::make_case14(),
+                         grid::DailyLoadTrace::nyiso_winter_weekday());
+  return std::make_unique<ShardedDaemon>(std::move(systems),
+                                         fast_sharded_options(shards));
 }
 
 }  // namespace mtdgrid::serve::test

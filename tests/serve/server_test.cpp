@@ -170,6 +170,66 @@ TEST_F(SocketServerTest, ShutdownVerbMidHourStopsServerCleanly) {
   EXPECT_EQ(status.find("hour")->as_number(), 1.0);
 }
 
+TEST_F(SocketServerTest, CrlfLineYieldsByteIdenticalReplyToLf) {
+  // nc/telnet terminate lines with \r\n; the reply must be the exact
+  // bytes an LF-only client gets (dispatch replies carry no counters,
+  // so they are byte-comparable).
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  const std::string want =
+      daemon_->handle_line(R"({"op":"dispatch","id":11})");
+  EXPECT_EQ(client.round_trip(R"({"op":"dispatch","id":11})" "\r"), want);
+}
+
+TEST_F(SocketServerTest, LargeLineUnderTheCapIsServedIdentically) {
+  // A line padded to ~1 MB of leading whitespace stays under the 4 MB
+  // cap and must produce the exact reply of its unpadded form — the cap
+  // is a limit, not a performance cliff that changes behavior.
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  const std::string want =
+      daemon_->handle_line(R"({"op":"dispatch","id":12})");
+  const std::string padded = std::string(1u << 20, ' ') +
+                             R"({"op":"dispatch","id":12})";
+  EXPECT_EQ(client.round_trip(padded), want);
+}
+
+TEST_F(SocketServerTest, OverlongLineWithoutNewlineDropsTheConnection) {
+  // kMaxLineBytes is 4 MB: a peer that streams more than that without a
+  // newline is violating the protocol and gets disconnected (the buffer
+  // would otherwise grow without bound). The send may also fail part
+  // way once the server closes its end — both are a dropped peer.
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  const std::string blob(1u << 20, 'x');  // 1 MB, no newline
+  bool sent = true;
+  for (int i = 0; i < 5 && sent; ++i) sent = client.send_raw(blob);
+  if (sent) client.send_raw("\n");  // even a late newline cannot save it
+  EXPECT_EQ(client.read_line(), "");  // EOF: the server dropped us
+
+  // The server itself survives: a fresh connection is served normally.
+  TestClient fresh(server_->port());
+  ASSERT_TRUE(fresh.connected());
+  EXPECT_TRUE(
+      Json::parse(fresh.round_trip(R"({"op":"status"})")).find("ok")->as_bool());
+}
+
+TEST(SocketServerStandaloneTest, AcceptsTheInstantConstructionReturns) {
+  // The listener must be in LISTEN state before the constructor returns
+  // (listen() directly follows bind(): no window where the ephemeral
+  // port is known but connections are refused). Exercised by churning
+  // fresh servers and connecting immediately each time.
+  auto daemon = test::make_fast_daemon();
+  for (int i = 0; i < 8; ++i) {
+    SocketServer server(*daemon, 0);
+    TestClient client(server.port());
+    ASSERT_TRUE(client.connected()) << "round " << i;
+    const Json status = Json::parse(client.round_trip(R"({"op":"status"})"));
+    EXPECT_TRUE(status.find("ok")->as_bool()) << "round " << i;
+    server.stop();
+  }
+}
+
 TEST(SocketServerStandaloneTest, BindFailureThrows) {
   // Two servers cannot share a port: the second constructor must throw
   // instead of silently serving nothing. (Daemon reuse across servers is

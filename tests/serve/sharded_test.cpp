@@ -1,0 +1,194 @@
+// Protocol-level tests of the sharded serving fleet: the routing
+// grammar ("shard"/"case" fields, broadcast tick, batch arrays), the
+// pinned fleet-level error strings, and the contract that routing a
+// request through the fleet is byte-identical to serving it on the
+// shard directly. Thread-count invariance and shard isolation live in
+// sharded_concurrency_test.cpp.
+
+#include "serve/sharded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/json.hpp"
+#include "serve_test_util.hpp"
+
+namespace mtdgrid::serve {
+namespace {
+
+/// One 2-shard fleet per test process (ctest runs every discovered test
+/// in its own process; the construction cost — two pass-1 days — is the
+/// price of suite isolation).
+class ShardedDaemonTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { fleet_ = test::make_fast_fleet(2); }
+  static void TearDownTestSuite() { fleet_.reset(); }
+  static std::unique_ptr<ShardedDaemon> fleet_;
+};
+
+std::unique_ptr<ShardedDaemon> ShardedDaemonTest::fleet_;
+
+TEST_F(ShardedDaemonTest, RoutesByShardIndex) {
+  // Routed through the fleet == served on the shard directly, byte for
+  // byte (dispatch replies carry no counters, so they are comparable).
+  const std::string via_fleet =
+      fleet_->handle_line(R"({"op":"dispatch","id":3,"shard":1})");
+  const std::string direct =
+      fleet_->shard(1).handle_line(R"({"op":"dispatch","id":3})");
+  EXPECT_EQ(via_fleet, direct);
+
+  // Distinct seed substreams: the same probe request draws different
+  // noise per shard (the hour-0 keys themselves may coincide — the fast
+  // selection budgets can land both shards on the same optimum — but
+  // the request substreams are rooted at each shard's own seed).
+  EXPECT_NE(fleet_->handle_line(R"({"op":"probe","id":3,"shard":0})"),
+            fleet_->handle_line(R"({"op":"probe","id":3,"shard":1})"));
+
+  // No routing field: shard 0 serves.
+  EXPECT_EQ(fleet_->handle_line(R"({"op":"dispatch","id":3})"),
+            fleet_->handle_line(R"({"op":"dispatch","id":3,"shard":0})"));
+}
+
+TEST_F(ShardedDaemonTest, RoutesByCaseName) {
+  // Both shards serve "ieee14" (the explicit-system name); "case" picks
+  // the FIRST matching shard.
+  const Json status =
+      Json::parse(fleet_->handle_line(R"({"op":"status","case":"ieee14"})"));
+  EXPECT_TRUE(status.find("ok")->as_bool());
+  EXPECT_EQ(status.find("case")->as_string(), "ieee14");
+  EXPECT_EQ(fleet_->handle_line(R"({"op":"probe","id":5,"case":"ieee14"})"),
+            fleet_->handle_line(R"({"op":"probe","id":5,"shard":0})"));
+}
+
+TEST_F(ShardedDaemonTest, PinnedRoutingErrorReplies) {
+  EXPECT_EQ(
+      fleet_->handle_line(R"({"op":"status","shard":9})"),
+      R"x({"ok":false,"error":"bad-shard","message":"shard 9 is not served (shards: 0..1)"})x");
+  EXPECT_EQ(
+      fleet_->handle_line(R"({"op":"status","case":"case300"})"),
+      R"({"ok":false,"error":"bad-shard","message":"case \"case300\" is not served"})");
+  EXPECT_EQ(
+      fleet_->handle_line(R"({"op":"status","shard":0,"case":"ieee14"})"),
+      R"({"ok":false,"error":"bad-request","message":"give \"shard\" or \"case\", not both"})");
+  EXPECT_EQ(
+      fleet_->handle_line(R"({"op":"status","shard":-1})"),
+      R"({"ok":false,"error":"bad-request","message":"\"shard\" must be a non-negative integer"})");
+  EXPECT_EQ(
+      fleet_->handle_line(R"({"op":"status","case":14})"),
+      R"({"ok":false,"error":"bad-request","message":"\"case\" must be a string"})");
+  EXPECT_EQ(
+      fleet_->handle_line("7"),
+      R"({"ok":false,"error":"bad-request","message":"request must be a JSON object or array"})");
+  EXPECT_EQ(
+      fleet_->handle_line("not json"),
+      R"x({"ok":false,"error":"parse","message":"invalid JSON: invalid literal at offset 0"})x");
+}
+
+TEST_F(ShardedDaemonTest, FleetErrorsTouchNoShardCounters) {
+  const std::uint64_t before0 = fleet_->shard(0).counters().requests;
+  const std::uint64_t before1 = fleet_->shard(1).counters().requests;
+  fleet_->handle_line("not json");
+  fleet_->handle_line(R"({"op":"status","shard":9})");
+  fleet_->handle_line("[]");
+  EXPECT_EQ(fleet_->shard(0).counters().requests, before0);
+  EXPECT_EQ(fleet_->shard(1).counters().requests, before1);
+}
+
+TEST_F(ShardedDaemonTest, BatchRepliesPreserveInputOrder) {
+  // Reference replies first (probe/dispatch replies are pure functions
+  // of (seed, hour, id) — serving them twice is byte-stable).
+  const std::vector<std::string> elements = {
+      R"({"op":"probe","id":1,"shard":0})",
+      R"({"op":"probe","id":1,"shard":1})",
+      R"({"op":"dispatch","id":2,"shard":1})",
+      R"({"op":"probe","id":9,"shard":0})",
+  };
+  std::vector<std::string> sequential;
+  for (const std::string& line : elements)
+    sequential.push_back(fleet_->handle_line(line));
+
+  const std::string batched = fleet_->handle_line(
+      "[" + elements[0] + "," + elements[1] + "," + elements[2] + "," +
+      elements[3] + "]");
+  EXPECT_EQ(batched, "[" + sequential[0] + "," + sequential[1] + "," +
+                         sequential[2] + "," + sequential[3] + "]");
+
+  // Replies stay in input order even when ids would suggest otherwise:
+  // element 3 (id 9) answers after element 2 (id 2).
+  const Json parsed = Json::parse(batched);
+  ASSERT_EQ(parsed.as_array().size(), 4u);
+  EXPECT_EQ(parsed.as_array()[3].find("id")->as_number(), 9.0);
+}
+
+TEST_F(ShardedDaemonTest, BatchElementsFailIndependently) {
+  const std::string reply = fleet_->handle_line(
+      R"([{"op":"status","shard":0},{"op":"zap"},3,{"op":"status","shard":9}])");
+  const Json parsed = Json::parse(reply);
+  ASSERT_EQ(parsed.as_array().size(), 4u);
+  EXPECT_TRUE(parsed.as_array()[0].find("ok")->as_bool());
+  EXPECT_EQ(parsed.as_array()[1].find("error")->as_string(), "unknown-op");
+  EXPECT_EQ(parsed.as_array()[2].find("message")->as_string(),
+            "request must be a JSON object");
+  EXPECT_EQ(parsed.as_array()[3].find("error")->as_string(), "bad-shard");
+}
+
+TEST_F(ShardedDaemonTest, EmptyBatchRejected) {
+  EXPECT_EQ(
+      fleet_->handle_line("[]"),
+      R"({"ok":false,"error":"bad-request","message":"batch must not be empty"})");
+}
+
+TEST_F(ShardedDaemonTest, UnroutedTickBroadcastsToAllShards) {
+  const std::size_t h0 = fleet_->shard(0).current_hour();
+  const std::size_t h1 = fleet_->shard(1).current_hour();
+  const Json reply =
+      Json::parse(fleet_->handle_line(R"({"op":"tick","id":7})"));
+  EXPECT_TRUE(reply.find("ok")->as_bool());
+  EXPECT_EQ(reply.find("op")->as_string(), "tick");
+  EXPECT_EQ(reply.find("id")->as_number(), 7.0);
+  ASSERT_EQ(reply.find("hours")->as_array().size(), 2u);
+  EXPECT_EQ(reply.find("hours")->as_array()[0].as_number(),
+            static_cast<double>(h0 + 1));
+  EXPECT_EQ(reply.find("hours")->as_array()[1].as_number(),
+            static_cast<double>(h1 + 1));
+  ASSERT_EQ(reply.find("keyed")->as_array().size(), 2u);
+
+  // A *routed* tick advances only its shard.
+  const Json routed =
+      Json::parse(fleet_->handle_line(R"({"op":"tick","shard":1})"));
+  EXPECT_TRUE(routed.find("ok")->as_bool());
+  EXPECT_EQ(fleet_->shard(0).current_hour(), h0 + 1);
+  EXPECT_EQ(fleet_->shard(1).current_hour(), h1 + 2);
+}
+
+TEST_F(ShardedDaemonTest, ShutdownPropagatesToTheFleet) {
+  EXPECT_FALSE(fleet_->shutdown_requested());
+  EXPECT_EQ(fleet_->handle_line(R"({"op":"shutdown","shard":1})"),
+            R"({"ok":true,"op":"shutdown"})");
+  EXPECT_TRUE(fleet_->shutdown_requested());
+  EXPECT_TRUE(fleet_->shard(0).shutdown_requested());
+  EXPECT_TRUE(fleet_->shard(1).shutdown_requested());
+}
+
+TEST(ShardedDaemonStandaloneTest, BareDaemonIgnoresRoutingFields) {
+  // A bare MtdDaemon is the degenerate 1-shard fleet: it accepts (and
+  // ignores) the routing fields, so clients can talk to either the
+  // daemon or a fleet with the same request lines.
+  const std::unique_ptr<MtdDaemon> daemon = test::make_fast_daemon();
+  EXPECT_EQ(daemon->handle_line(R"({"op":"dispatch","id":3,"shard":5})"),
+            daemon->handle_line(R"({"op":"dispatch","id":3})"));
+  EXPECT_EQ(daemon->handle_line(R"({"op":"dispatch","id":3,"case":"x"})"),
+            daemon->handle_line(R"({"op":"dispatch","id":3})"));
+}
+
+TEST(ShardedDaemonStandaloneTest, ConstructorRejectsEmptyFleet) {
+  EXPECT_THROW(ShardedDaemon(ShardedOptions{.cases = {}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtdgrid::serve

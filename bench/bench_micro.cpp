@@ -104,6 +104,45 @@ void BM_WlsEstimate(benchmark::State& state) {
 }
 BENCHMARK(BM_WlsEstimate);
 
+// Dense vs sparse storage policy on the full state-estimation path
+// (estimator construction = Gram + factorization, then one estimate),
+// the work the daily engine redoes at every re-key. range(0): 0 =
+// case118, 1 = case300. The CI perf gate asserts the sparse case300
+// variant beats the dense one by >= 3x.
+void BM_SparseVsDenseStateEstimationDense(benchmark::State& state) {
+  const grid::PowerSystem sys = state.range(0) == 0 ? grid::make_case118()
+                                                    : grid::make_case300();
+  const linalg::Matrix h = grid::measurement_matrix(sys);
+  stats::Rng rng(5);
+  linalg::Vector z(h.rows());
+  for (std::size_t i = 0; i < z.size(); ++i) z[i] = rng.gaussian(0.0, 10.0);
+  for (auto _ : state) {
+    const estimation::StateEstimator est(h, 1.0);
+    benchmark::DoNotOptimize(est.estimate(z));
+  }
+  state.SetLabel(state.range(0) == 0 ? "case118" : "case300");
+}
+BENCHMARK(BM_SparseVsDenseStateEstimationDense)
+    ->DenseRange(0, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SparseVsDenseStateEstimationSparse(benchmark::State& state) {
+  const grid::PowerSystem sys = state.range(0) == 0 ? grid::make_case118()
+                                                    : grid::make_case300();
+  const linalg::SparseMatrix h = grid::sparse_measurement_matrix(sys);
+  stats::Rng rng(5);
+  linalg::Vector z(h.rows());
+  for (std::size_t i = 0; i < z.size(); ++i) z[i] = rng.gaussian(0.0, 10.0);
+  for (auto _ : state) {
+    const estimation::StateEstimator est(h, 1.0);
+    benchmark::DoNotOptimize(est.estimate(z));
+  }
+  state.SetLabel(state.range(0) == 0 ? "case118" : "case300");
+}
+BENCHMARK(BM_SparseVsDenseStateEstimationSparse)
+    ->DenseRange(0, 1)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ResidualNorm(benchmark::State& state) {
   const grid::PowerSystem sys = grid::make_case14();
   const linalg::Matrix h = grid::measurement_matrix(sys);

@@ -10,7 +10,6 @@
 // Usage: keyspace_audit [--threads N] [case-name-or-.m-path] [keyspace_size]
 
 #include <algorithm>
-#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -18,7 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "example_util.hpp"
+#include "cli.hpp"
 #include "grid/measurement.hpp"
 #include "io/case_registry.hpp"
 #include "grid/power_flow.hpp"
@@ -31,20 +30,6 @@
 #include "stats/rng.hpp"
 
 namespace {
-
-int usage(const char* prog) {
-  const std::string known =
-      mtdgrid::io::CaseRegistry::global().joined_names("|");
-  std::fprintf(stderr,
-               "usage: %s [--threads N] [%s|<path>.m] [keyspace_size]\n"
-               "  keyspace_size must be a positive integer (default 200)\n"
-               "  --threads N sizes the worker pool of the parallel "
-               "effectiveness sweep\n  (default: MTDGRID_THREADS env var, "
-               "then hardware concurrency);\n  results are bit-identical "
-               "for every N\n",
-               prog, known.c_str());
-  return 2;
-}
 
 std::optional<mtdgrid::grid::PowerSystem> system_by_name(
     const std::string& name) {
@@ -63,37 +48,36 @@ std::optional<mtdgrid::grid::PowerSystem> system_by_name(
 int main(int argc, char** argv) {
   using namespace mtdgrid;
 
-  // "--threads N" may appear anywhere in argv (matching scenario_matrix);
-  // the remaining positional arguments keep their original contract.
-  std::vector<std::string> positionals;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--threads") {
-      if (i + 1 >= argc || !examples::apply_threads_arg(argv[i + 1]))
-        return usage(argv[0]);
-      ++i;
-      continue;
-    }
-    positionals.push_back(argv[i]);
-  }
-  if (positionals.size() > 2) return usage(argv[0]);
-  const std::string case_name =
-      !positionals.empty() ? positionals[0] : "ieee14";
+  // "--threads N" may appear anywhere in argv; the positional arguments
+  // keep their original contract (case first, then keyspace_size).
+  std::string case_name = "ieee14";
   int keyspace_size = 200;
-  if (positionals.size() > 1) {
-    const char* size_arg = positionals[1].c_str();
-    char* end = nullptr;
-    errno = 0;
-    const long parsed = std::strtol(size_arg, &end, 10);
-    if (errno != 0 || end == size_arg || *end != '\0' || parsed <= 0 ||
-        parsed > 1000000)
-      return usage(argv[0]);
-    keyspace_size = static_cast<int>(parsed);
-  }
+  std::size_t num_positionals = 0;
+  examples::Cli cli(argv[0], {"[--threads N] [case] [keyspace_size]"});
+  cli.note("  keyspace_size must be a positive integer (default 200)");
+  cli.note("  --threads N sizes the worker pool of the parallel "
+           "effectiveness sweep");
+  cli.positional([&](const std::string& arg) {
+    if (num_positionals == 1) {
+      unsigned long long parsed = 0;
+      if (!examples::parse_u64(arg.c_str(), 1, 1000000, parsed))
+        return false;
+      keyspace_size = static_cast<int>(parsed);
+    } else if (num_positionals == 0) {
+      case_name = arg;
+    } else {
+      return false;  // at most two positionals
+    }
+    ++num_positionals;
+    return true;
+  });
+  cli.flag_threads();
+  if (!cli.parse(argc, argv)) return 2;
 
   std::optional<grid::PowerSystem> maybe_sys = system_by_name(case_name);
   if (!maybe_sys) {
     std::fprintf(stderr, "unknown case '%s'\n", case_name.c_str());
-    return usage(argv[0]);
+    return cli.usage();
   }
   grid::PowerSystem sys = std::move(*maybe_sys);
 

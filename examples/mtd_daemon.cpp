@@ -44,7 +44,7 @@
 #include <thread>
 #include <vector>
 
-#include "example_util.hpp"
+#include "cli.hpp"
 #include "io/case_registry.hpp"
 #include "serve/daemon.hpp"
 #include "serve/server.hpp"
@@ -55,32 +55,6 @@ namespace {
 std::atomic<bool> g_signal_stop{false};
 
 void handle_signal(int) { g_signal_stop.store(true); }
-
-int usage(const char* argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s [--threads N] [--seed S] [--port P] [--history H]\n"
-      "       %*s [--shards N] [--attacks N] [--starts N] [--evals N]\n"
-      "       %*s [--base-evals N] [--rekey-ms MS] [case]\n"
-      "       %s --client PORT [--request JSON]...\n"
-      "cases: %s (or a path to a MATPOWER .m file)\n",
-      argv0, static_cast<int>(std::strlen(argv0)), "",
-      static_cast<int>(std::strlen(argv0)), "", argv0,
-      mtdgrid::io::CaseRegistry::global().joined_names("|").c_str());
-  return 2;
-}
-
-bool parse_u64(const char* arg, unsigned long long lo, unsigned long long hi,
-               unsigned long long& out) {
-  if (arg == nullptr) return false;
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long v = std::strtoull(arg, &end, 10);
-  if (errno != 0 || end == arg || *end != '\0' || v < lo || v > hi)
-    return false;
-  out = v;
-  return true;
-}
 
 int run_client(std::uint16_t port, const std::vector<std::string>& requests) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -152,78 +126,60 @@ int main(int argc, char** argv) {
   std::vector<std::string> client_requests;
   bool case_set = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    unsigned long long value = 0;
-    if (arg == "--threads") {
-      if (++i >= argc || !examples::apply_threads_arg(argv[i]))
-        return usage(argv[0]);
-    } else if (arg == "--seed") {
-      if (++i >= argc || !parse_u64(argv[i], 0, ~0ULL, value))
-        return usage(argv[0]);
-      options.seed = value;
-    } else if (arg == "--port") {
-      if (++i >= argc || !parse_u64(argv[i], 0, 65535, value))
-        return usage(argv[0]);
-      port = value;
-    } else if (arg == "--history") {
-      if (++i >= argc || !parse_u64(argv[i], 1, 1000000, value))
-        return usage(argv[0]);
-      options.history_hours = static_cast<std::size_t>(value);
-    } else if (arg == "--attacks") {
-      if (++i >= argc || !parse_u64(argv[i], 1, 1000000, value))
-        return usage(argv[0]);
-      options.daily.effectiveness.num_attacks = static_cast<int>(value);
-    } else if (arg == "--starts") {
-      if (++i >= argc || !parse_u64(argv[i], 0, 1000, value))
-        return usage(argv[0]);
-      options.daily.selection.extra_starts = static_cast<int>(value);
-    } else if (arg == "--evals") {
-      if (++i >= argc || !parse_u64(argv[i], 1, 1000000, value))
-        return usage(argv[0]);
-      options.daily.selection.search.max_evaluations =
-          static_cast<int>(value);
-    } else if (arg == "--base-evals") {
-      if (++i >= argc || !parse_u64(argv[i], 1, 1000000, value))
-        return usage(argv[0]);
-      options.daily.base_search_evaluations = static_cast<int>(value);
-    } else if (arg == "--shards") {
-      if (++i >= argc || !parse_u64(argv[i], 1, 64, value))
-        return usage(argv[0]);
-      shards = value;
-    } else if (arg == "--rekey-ms") {
-      if (++i >= argc || !parse_u64(argv[i], 0, 86400000, value))
-        return usage(argv[0]);
-      rekey_ms = value;
-    } else if (arg == "--client") {
-      if (++i >= argc || !parse_u64(argv[i], 1, 65535, value))
-        return usage(argv[0]);
-      client_mode = true;
-      client_port = value;
-    } else if (arg == "--request") {
-      // Blank lines get no reply from the daemon, so a blank --request
-      // would hang the client waiting for one — reject it up front.
-      if (++i >= argc ||
-          std::string(argv[i]).find_first_not_of(" \t\r\n") ==
-              std::string::npos)
-        return usage(argv[0]);
-      client_requests.emplace_back(argv[i]);
-    } else if (!arg.empty() && arg[0] == '-') {
-      return usage(argv[0]);
-    } else if (!case_set && io::CaseRegistry::global().knows(arg)) {
-      options.case_name = arg;
-      case_set = true;
-    } else {
-      return usage(argv[0]);
-    }
-  }
+  examples::Cli cli(
+      argv[0],
+      {"[--threads N] [--seed S] [--port P] [--history H]",
+       "[--shards N] [--attacks N] [--starts N] [--evals N]",
+       "[--base-evals N] [--rekey-ms MS] [case]"});
+  cli.alternative("--client PORT [--request JSON]...");
+  cli.flag_threads();
+  cli.flag_u64("--seed", 0, ~0ULL,
+               [&](unsigned long long v) { options.seed = v; });
+  cli.flag_u64("--port", 0, 65535, [&](unsigned long long v) { port = v; });
+  cli.flag_u64("--history", 1, 1000000, [&](unsigned long long v) {
+    options.history_hours = static_cast<std::size_t>(v);
+  });
+  cli.flag_u64("--attacks", 1, 1000000, [&](unsigned long long v) {
+    options.daily.effectiveness.num_attacks = static_cast<int>(v);
+  });
+  cli.flag_u64("--starts", 0, 1000, [&](unsigned long long v) {
+    options.daily.selection.extra_starts = static_cast<int>(v);
+  });
+  cli.flag_u64("--evals", 1, 1000000, [&](unsigned long long v) {
+    options.daily.selection.search.max_evaluations = static_cast<int>(v);
+  });
+  cli.flag_u64("--base-evals", 1, 1000000, [&](unsigned long long v) {
+    options.daily.base_search_evaluations = static_cast<int>(v);
+  });
+  cli.flag_u64("--shards", 1, 64, [&](unsigned long long v) { shards = v; });
+  cli.flag_u64("--rekey-ms", 0, 86400000,
+               [&](unsigned long long v) { rekey_ms = v; });
+  cli.flag_u64("--client", 1, 65535, [&](unsigned long long v) {
+    client_mode = true;
+    client_port = v;
+  });
+  cli.flag_value("--request", [&](const char* raw) {
+    // Blank lines get no reply from the daemon, so a blank --request
+    // would hang the client waiting for one — reject it up front.
+    if (std::string(raw).find_first_not_of(" \t\r\n") == std::string::npos)
+      return false;
+    client_requests.emplace_back(raw);
+    return true;
+  });
+  cli.positional([&](const std::string& arg) {
+    if (case_set || !io::CaseRegistry::global().knows(arg)) return false;
+    options.case_name = arg;
+    case_set = true;
+    return true;
+  });
+  if (!cli.parse(argc, argv)) return 2;
   if (client_mode) {
     if (case_set || port != 0 || rekey_ms != 0 || shards != 1)
-      return usage(argv[0]);
+      return cli.usage();
     return run_client(static_cast<std::uint16_t>(client_port),
                       client_requests);
   }
-  if (!client_requests.empty()) return usage(argv[0]);
+  if (!client_requests.empty()) return cli.usage();
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);

@@ -42,35 +42,12 @@
 #include <thread>
 #include <vector>
 
-#include "example_util.hpp"
+#include "cli.hpp"
 #include "io/case_registry.hpp"
 #include "serve/json.hpp"
 #include "serve/sharded.hpp"
 
 namespace {
-
-int usage(const char* argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s [--shards N] [--connections C] [--duration S] [--rate R]\n"
-      "       %*s [--mix D:P:S] [--seed S] [--threads N] [case]\n"
-      "cases: %s (or a path to a MATPOWER .m file)\n",
-      argv0, static_cast<int>(std::strlen(argv0)), "",
-      mtdgrid::io::CaseRegistry::global().joined_names("|").c_str());
-  return 2;
-}
-
-bool parse_u64(const char* arg, unsigned long long lo, unsigned long long hi,
-               unsigned long long& out) {
-  if (arg == nullptr) return false;
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long v = std::strtoull(arg, &end, 10);
-  if (errno != 0 || end == arg || *end != '\0' || v < lo || v > hi)
-    return false;
-  out = v;
-  return true;
-}
 
 /// Parses "D:P:S" detect:dispatch:status weights (non-negative, sum > 0).
 bool parse_mix(const char* arg, unsigned long long (&mix)[3]) {
@@ -80,6 +57,7 @@ bool parse_mix(const char* arg, unsigned long long (&mix)[3]) {
   if (first == std::string::npos) return false;
   const std::size_t second = s.find(':', first + 1);
   if (second == std::string::npos) return false;
+  using mtdgrid::examples::parse_u64;
   if (!parse_u64(s.substr(0, first).c_str(), 0, 1000, mix[0]) ||
       !parse_u64(s.substr(first + 1, second - first - 1).c_str(), 0, 1000,
                  mix[1]) ||
@@ -111,43 +89,28 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 7;
   bool case_set = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    unsigned long long value = 0;
-    if (arg == "--shards") {
-      if (++i >= argc || !parse_u64(argv[i], 1, 64, value))
-        return usage(argv[0]);
-      shards = value;
-    } else if (arg == "--connections") {
-      if (++i >= argc || !parse_u64(argv[i], 1, 256, value))
-        return usage(argv[0]);
-      connections = value;
-    } else if (arg == "--duration") {
-      if (++i >= argc || !parse_u64(argv[i], 1, 3600, value))
-        return usage(argv[0]);
-      duration_s = value;
-    } else if (arg == "--rate") {
-      if (++i >= argc || !parse_u64(argv[i], 1, 10000000, value))
-        return usage(argv[0]);
-      rate = value;
-    } else if (arg == "--mix") {
-      if (++i >= argc || !parse_mix(argv[i], mix)) return usage(argv[0]);
-    } else if (arg == "--seed") {
-      if (++i >= argc || !parse_u64(argv[i], 0, ~0ULL, value))
-        return usage(argv[0]);
-      seed = value;
-    } else if (arg == "--threads") {
-      if (++i >= argc || !examples::apply_threads_arg(argv[i]))
-        return usage(argv[0]);
-    } else if (!arg.empty() && arg[0] == '-') {
-      return usage(argv[0]);
-    } else if (!case_set && io::CaseRegistry::global().knows(arg)) {
-      case_name = arg;
-      case_set = true;
-    } else {
-      return usage(argv[0]);
-    }
-  }
+  examples::Cli cli(
+      argv[0],
+      {"[--shards N] [--connections C] [--duration S] [--rate R]",
+       "[--mix D:P:S] [--seed S] [--threads N] [case]"});
+  cli.flag_u64("--shards", 1, 64, [&](unsigned long long v) { shards = v; });
+  cli.flag_u64("--connections", 1, 256,
+               [&](unsigned long long v) { connections = v; });
+  cli.flag_u64("--duration", 1, 3600,
+               [&](unsigned long long v) { duration_s = v; });
+  cli.flag_u64("--rate", 1, 10000000,
+               [&](unsigned long long v) { rate = v; });
+  cli.flag_value("--mix",
+                 [&](const char* raw) { return parse_mix(raw, mix); });
+  cli.flag_u64("--seed", 0, ~0ULL, [&](unsigned long long v) { seed = v; });
+  cli.flag_threads();
+  cli.positional([&](const std::string& arg) {
+    if (case_set || !io::CaseRegistry::global().knows(arg)) return false;
+    case_name = arg;
+    case_set = true;
+    return true;
+  });
+  if (!cli.parse(argc, argv)) return 2;
 
   // Reduced budgets (the serve-test profile): the harness measures
   // request serving, not selection quality, so startup stays fast.

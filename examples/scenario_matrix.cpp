@@ -17,44 +17,25 @@
 #include <string>
 #include <vector>
 
-#include "example_util.hpp"
+#include "cli.hpp"
 #include "grid/measurement.hpp"
 #include "io/case_registry.hpp"
 #include "linalg/subspace.hpp"
 #include "opf/dc_opf.hpp"
 
-namespace {
-
-int usage(const char* prog) {
-  const std::string known =
-      mtdgrid::io::CaseRegistry::global().joined_names("|");
-  std::fprintf(stderr,
-               "usage: %s [--threads N] [case-or-path ...]\n"
-               "  case-or-path: %s, or a MATPOWER .m file\n"
-               "  --threads N:  worker-pool size (positive integer)\n",
-               prog, known.c_str());
-  return 2;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace mtdgrid;
 
   std::vector<std::string> specs;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--threads") {
-      if (i + 1 >= argc || !examples::apply_threads_arg(argv[i + 1]))
-        return usage(argv[0]);
-      ++i;
-      continue;
-    }
-    if (arg.empty() || arg[0] == '-' ||
-        !io::CaseRegistry::global().knows(arg))
-      return usage(argv[0]);
+  examples::Cli cli(argv[0], {"[--threads N] [case-or-path ...]"});
+  cli.note("  --threads N: worker-pool size (positive integer)");
+  cli.flag_threads();
+  cli.positional([&](const std::string& arg) {
+    if (!io::CaseRegistry::global().knows(arg)) return false;
     specs.push_back(arg);
-  }
+    return true;
+  });
+  if (!cli.parse(argc, argv)) return 2;
   if (specs.empty())
     for (const auto& e : io::CaseRegistry::global().entries())
       specs.push_back(e.name);
@@ -68,7 +49,7 @@ int main(int argc, char** argv) {
         return io::load_case(spec);
       } catch (const io::CaseIoError& e) {
         std::fprintf(stderr, "%s\n", e.what());
-        std::exit(usage("scenario_matrix"));
+        std::exit(cli.usage());
       }
     }();
     const opf::DispatchResult r = opf::solve_dc_opf(sys);

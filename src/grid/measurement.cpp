@@ -46,6 +46,51 @@ linalg::Matrix measurement_matrix(const PowerSystem& sys) {
   return measurement_matrix(sys, sys.reactances());
 }
 
+linalg::SparseMatrix sparse_measurement_matrix(const PowerSystem& sys,
+                                               const linalg::Vector& x) {
+  assert(x.size() == sys.num_branches());
+  const std::size_t num_branches = sys.num_branches();
+  const std::size_t num_buses = sys.num_buses();
+  const std::size_t state_dim = num_buses - 1;
+  const linalg::Vector d = sys.branch_susceptances(x);
+
+  linalg::TripletBuilder builder(measurement_count(sys), state_dim);
+  builder.reserve(8 * num_branches);
+  for (std::size_t l = 0; l < num_branches; ++l) {
+    const Branch& br = sys.branch(l);
+    const std::size_t cf = reduced_state_column(sys, br.from);
+    const std::size_t ct = reduced_state_column(sys, br.to);
+    // Flow rows l (forward) and L + l (reverse): d_l * (e_from - e_to)^T
+    // with the slack column dropped.
+    if (cf < num_buses) {
+      builder.add(l, cf, d[l]);
+      builder.add(num_branches + l, cf, -d[l]);
+    }
+    if (ct < num_buses) {
+      builder.add(l, ct, -d[l]);
+      builder.add(num_branches + l, ct, d[l]);
+    }
+    // Injection rows: B = A D A^T accumulated per branch in branch order
+    // (matching PowerSystem::susceptance_matrix bit for bit), slack
+    // column dropped, slack row kept.
+    const std::size_t row_f = 2 * num_branches + br.from;
+    const std::size_t row_t = 2 * num_branches + br.to;
+    if (cf < num_buses) {
+      builder.add(row_f, cf, d[l]);
+      builder.add(row_t, cf, -d[l]);
+    }
+    if (ct < num_buses) {
+      builder.add(row_t, ct, d[l]);
+      builder.add(row_f, ct, -d[l]);
+    }
+  }
+  return builder.build();
+}
+
+linalg::SparseMatrix sparse_measurement_matrix(const PowerSystem& sys) {
+  return sparse_measurement_matrix(sys, sys.reactances());
+}
+
 std::size_t reduced_state_column(const PowerSystem& sys, std::size_t bus) {
   const std::size_t slack = sys.slack_bus();
   if (bus == slack) return sys.num_buses();  // sentinel: no column

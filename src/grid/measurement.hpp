@@ -2,6 +2,7 @@
 
 #include "grid/power_system.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/sparse_matrix.hpp"
 #include "linalg/vector.hpp"
 
 namespace mtdgrid::grid {
@@ -28,6 +29,19 @@ linalg::Matrix measurement_matrix(const PowerSystem& sys,
 
 /// Builds H at the system's current nominal reactances.
 linalg::Matrix measurement_matrix(const PowerSystem& sys);
+
+/// Builds H for reactances `x` directly in CSR, without a dense
+/// intermediate — the `StoragePolicy::kSparse` entry point of the
+/// measurement model. H has ~2 entries per flow row and (degree+1) per
+/// injection row, so nnz is O(L + N) against the dense M x (N-1) block.
+/// Values are bit-identical to `measurement_matrix`: each injection entry
+/// accumulates its per-branch susceptance contributions in branch order,
+/// the same order the dense susceptance-matrix loop uses.
+linalg::SparseMatrix sparse_measurement_matrix(const PowerSystem& sys,
+                                               const linalg::Vector& x);
+
+/// Sparse H at the system's current nominal reactances.
+linalg::SparseMatrix sparse_measurement_matrix(const PowerSystem& sys);
 
 /// Column of the reduced state (slack angle removed) that `bus` maps to,
 /// or `sys.num_buses()` as an out-of-range sentinel for the slack bus

@@ -1,6 +1,8 @@
 #include "io/case_registry.hpp"
 
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -21,8 +23,15 @@ bool looks_like_path(const std::string& s) {
 }
 
 std::string read_file(const std::string& path) {
+  errno = 0;
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw CaseIoError(path + ": cannot open file");
+  if (!in) {
+    // Carry the attempted path *and* the OS reason — "cannot open file"
+    // alone made misspelled paths vs. permission problems look alike.
+    std::string why = "cannot open file";
+    if (errno != 0) why += std::string(" (") + std::strerror(errno) + ")";
+    throw CaseIoError(path + ": " + why);
+  }
   std::ostringstream buf;
   buf << in.rdbuf();
   return buf.str();

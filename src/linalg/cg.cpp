@@ -1,0 +1,143 @@
+#include "linalg/cg.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace mtdgrid::linalg {
+
+JacobiPreconditioner::JacobiPreconditioner(const SparseMatrix& a)
+    : inv_diag_(a.rows()) {
+  assert(a.rows() == a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double d = a.coeff(i, i);
+    if (!(d > 0.0))
+      throw std::runtime_error(
+          "Jacobi preconditioner: non-positive diagonal entry");
+    inv_diag_[i] = 1.0 / d;
+  }
+}
+
+Vector JacobiPreconditioner::apply(const Vector& r) const {
+  assert(r.size() == inv_diag_.size());
+  Vector z(r.size());
+  for (std::size_t i = 0; i < r.size(); ++i) z[i] = r[i] * inv_diag_[i];
+  return z;
+}
+
+IncompleteCholeskyPreconditioner::IncompleteCholeskyPreconditioner(
+    const SparseMatrix& a)
+    : n_(a.rows()) {
+  assert(a.rows() == a.cols());
+  // Column k of the lower triangle of a symmetric A is row k restricted
+  // to columns >= k (same values, ascending row indices).
+  col_ptr_.assign(n_ + 1, 0);
+  for (std::size_t k = 0; k < n_; ++k) {
+    bool has_diag = false;
+    for (std::size_t p = a.row_ptr()[k]; p < a.row_ptr()[k + 1]; ++p) {
+      const std::size_t j = a.col_idx()[p];
+      if (j < k) continue;
+      if (j == k) has_diag = true;
+      row_idx_.push_back(j);
+      values_.push_back(a.values()[p]);
+    }
+    if (!has_diag) {
+      failed_ = true;  // structurally singular: no diagonal entry
+      return;
+    }
+    col_ptr_[k + 1] = row_idx_.size();
+  }
+
+  // IC(0): the full factorization restricted to the pattern of L.
+  for (std::size_t k = 0; k < n_; ++k) {
+    const std::size_t kb = col_ptr_[k];
+    const std::size_t ke = col_ptr_[k + 1];
+    const double dkk = values_[kb];
+    if (!(dkk > 0.0)) {
+      failed_ = true;
+      return;
+    }
+    const double lkk = std::sqrt(dkk);
+    values_[kb] = lkk;
+    for (std::size_t p = kb + 1; p < ke; ++p) values_[p] /= lkk;
+    // Rank-1 update of the remaining columns, kept to existing entries.
+    for (std::size_t p = kb + 1; p < ke; ++p) {
+      const std::size_t j = row_idx_[p];
+      const double ljk = values_[p];
+      // Intersect column j's pattern with column k's (both ascending).
+      std::size_t r = p;
+      for (std::size_t q = col_ptr_[j]; q < col_ptr_[j + 1]; ++q) {
+        const std::size_t i = row_idx_[q];
+        while (r < ke && row_idx_[r] < i) ++r;
+        if (r == ke) break;
+        if (row_idx_[r] == i) values_[q] -= values_[r] * ljk;
+      }
+    }
+  }
+}
+
+Vector IncompleteCholeskyPreconditioner::apply(const Vector& r) const {
+  assert(!failed_);
+  assert(r.size() == n_);
+  Vector z = r;
+  for (std::size_t j = 0; j < n_; ++j) {
+    z[j] /= values_[col_ptr_[j]];
+    const double zj = z[j];
+    for (std::size_t p = col_ptr_[j] + 1; p < col_ptr_[j + 1]; ++p)
+      z[row_idx_[p]] -= values_[p] * zj;
+  }
+  for (std::size_t j = n_; j-- > 0;) {
+    double acc = z[j];
+    for (std::size_t p = col_ptr_[j] + 1; p < col_ptr_[j + 1]; ++p)
+      acc -= values_[p] * z[row_idx_[p]];
+    z[j] = acc / values_[col_ptr_[j]];
+  }
+  return z;
+}
+
+CgResult preconditioned_cg(const SparseMatrix& a, const Vector& b,
+                           const Preconditioner& m,
+                           const CgOptions& options) {
+  assert(a.rows() == a.cols());
+  assert(b.size() == a.rows());
+  const std::size_t n = a.rows();
+  const std::size_t max_iterations =
+      options.max_iterations > 0 ? options.max_iterations : 4 * n;
+
+  CgResult result;
+  result.x = Vector(n);
+  const double b_norm = b.norm();
+  if (b_norm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+
+  Vector r = b;  // r = b - A*0
+  Vector z = m.apply(r);
+  Vector p = z;
+  double rz = r.dot(z);
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    const Vector ap = a * p;
+    const double pap = p.dot(ap);
+    if (!(pap > 0.0)) break;  // breakdown: A not SPD along p
+    const double alpha = rz / pap;
+    for (std::size_t i = 0; i < n; ++i) result.x[i] += alpha * p[i];
+    for (std::size_t i = 0; i < n; ++i) r[i] -= alpha * ap[i];
+    result.iterations = it + 1;
+    result.relative_residual = r.norm() / b_norm;
+    if (result.relative_residual <= options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+    z = m.apply(r);
+    const double rz_next = r.dot(z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  result.relative_residual = (b - a * result.x).norm() / b_norm;
+  result.converged = result.relative_residual <= options.tolerance;
+  return result;
+}
+
+}  // namespace mtdgrid::linalg

@@ -3,19 +3,16 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "linalg/backend.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/qr.hpp"
 
 namespace mtdgrid::linalg {
 
-namespace {
-
-/// Gram matrix A^T W A and moment vector A^T W b in one pass.
-void form_normal_equations(const Matrix& a, const Vector& weights,
-                           Matrix& gram) {
+Matrix weighted_gram(const Matrix& a, const Vector& weights) {
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();
-  gram = Matrix(n, n);
+  Matrix gram(n, n);
   for (std::size_t k = 0; k < m; ++k) {
     const double w = weights[k];
     if (w == 0.0) continue;
@@ -27,29 +24,13 @@ void form_normal_equations(const Matrix& a, const Vector& weights,
       }
     }
   }
+  return gram;
 }
-
-}  // namespace
 
 Vector solve_weighted_least_squares(const Matrix& a, const Vector& weights,
                                     const Vector& b) {
   assert(a.rows() == weights.size() && a.rows() == b.size());
-  Matrix gram;
-  form_normal_equations(a, weights, gram);
-
-  Vector rhs(a.cols());
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const double wb = weights[k] * b[k];
-    if (wb == 0.0) continue;
-    for (std::size_t j = 0; j < a.cols(); ++j) rhs[j] += a(k, j) * wb;
-  }
-
-  CholeskyDecomposition chol(gram);
-  if (chol.failed())
-    throw std::runtime_error(
-        "weighted least squares: normal equations not positive definite "
-        "(rank-deficient matrix or non-positive weights)");
-  return chol.solve(rhs);
+  return solve_weighted_least_squares(LinearOperator(a), weights, b);
 }
 
 Vector solve_least_squares(const Matrix& a, const Vector& b) {
@@ -59,8 +40,7 @@ Vector solve_least_squares(const Matrix& a, const Vector& b) {
 
 Matrix weighted_hat_matrix(const Matrix& a, const Vector& weights) {
   assert(a.rows() == weights.size());
-  Matrix gram;
-  form_normal_equations(a, weights, gram);
+  const Matrix gram = weighted_gram(a, weights);
   CholeskyDecomposition chol(gram);
   if (chol.failed())
     throw std::runtime_error("weighted hat matrix: rank-deficient matrix");

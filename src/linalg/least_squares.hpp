@@ -5,12 +5,23 @@
 
 namespace mtdgrid::linalg {
 
+/// The weighted Gram matrix `A^T W A` of the normal equations, accumulated
+/// in the library's reference order (row-major scan, zero contributions
+/// skipped). This exact loop is the dense bit-exactness anchor: both the
+/// dense `NormalEquationsSolver` backend (linalg/backend.hpp) and
+/// `weighted_hat_matrix` build their Gram matrices through it.
+Matrix weighted_gram(const Matrix& a, const Vector& weights);
+
 /// Weighted least-squares solver for `min_x || W^{1/2} (A x - b) ||`.
 ///
 /// `weights` holds the diagonal of W (one non-negative weight per row of A;
 /// in state estimation these are reciprocal noise variances). Solves the
 /// normal equations with a Cholesky factorization; requires A to have full
 /// column rank. Throws std::runtime_error otherwise.
+///
+/// This is the dense storage policy of the backend API: it forwards to
+/// `solve_weighted_least_squares(LinearOperator, ...)` in
+/// linalg/backend.hpp, which also accepts a `SparseMatrix`.
 Vector solve_weighted_least_squares(const Matrix& a, const Vector& weights,
                                     const Vector& b);
 

@@ -26,50 +26,36 @@ bool column_spaces_orthogonal(const linalg::Matrix& h_old,
   return smallest_angle(h_old, h_new) >= std::numbers::pi / 2.0 - tol;
 }
 
-SpaEvaluator::SpaEvaluator(const grid::PowerSystem& sys,
-                           const linalg::Matrix& h_attacker)
-    : sys_(sys), h0_(h_attacker) {
-  const std::size_t num_branches = sys_.num_branches();
-  const std::size_t num_buses = sys_.num_buses();
-  const std::size_t state_dim = num_buses - 1;
-  if (h0_.rows() != grid::measurement_count(sys_) ||
-      h0_.cols() != state_dim)
-    throw std::invalid_argument(
-        "SpaEvaluator: h_attacker does not have the system's measurement "
-        "dimensions");
-
+template <typename FlowEntry>
+bool SpaEvaluator::recover_reference(const FlowEntry& flow_entry) {
   // Try to recognize h_attacker as H(sys, x_ref) for some reactances: each
   // forward-flow row is d_l * (e_from - e_to)^T, so any non-slack endpoint
   // entry reveals d_l.
-  bool recovered = true;
+  const std::size_t num_branches = sys_.num_branches();
+  const std::size_t num_buses = sys_.num_buses();
   x_ref_ = linalg::Vector(num_branches);
   d_ref_ = linalg::Vector(num_branches);
-  for (std::size_t l = 0; l < num_branches && recovered; ++l) {
+  for (std::size_t l = 0; l < num_branches; ++l) {
     const grid::Branch& br = sys_.branch(l);
     const std::size_t cf = grid::reduced_state_column(sys_, br.from);
     const std::size_t ct = grid::reduced_state_column(sys_, br.to);
     double d = 0.0;
     if (cf < num_buses) {
-      d = h0_(l, cf);
+      d = flow_entry(l, cf);
     } else if (ct < num_buses) {
-      d = -h0_(l, ct);
+      d = -flow_entry(l, ct);
     }
-    if (d > 0.0) {
-      d_ref_[l] = d;
-      x_ref_[l] = sys_.base_mva() / d;
-    } else {
-      recovered = false;
-    }
+    if (!(d > 0.0)) return false;
+    d_ref_[l] = d;
+    x_ref_[l] = sys_.base_mva() / d;
   }
-  if (recovered) {
-    const linalg::Matrix rebuilt = grid::measurement_matrix(sys_, x_ref_);
-    const double scale = std::max(1.0, h0_.max_abs());
-    recovered = linalg::max_abs_diff(rebuilt, h0_) <= 1e-8 * scale;
-  }
+  return true;
+}
 
+void SpaEvaluator::build_basis(bool recovered) {
   if (recovered) {
     const linalg::QrDecomposition qr(h0_);
-    if (qr.rank() == state_dim) {
+    if (qr.rank() == h0_.cols()) {
       q0_ = qr.q_thin();
       r0_ = qr.r();
       incremental_ = true;
@@ -77,6 +63,50 @@ SpaEvaluator::SpaEvaluator(const grid::PowerSystem& sys,
     }
   }
   q0_ = linalg::orthonormal_basis_qr(h0_);
+}
+
+SpaEvaluator::SpaEvaluator(const grid::PowerSystem& sys,
+                           const linalg::Matrix& h_attacker)
+    : sys_(sys), h0_(h_attacker) {
+  if (h0_.rows() != grid::measurement_count(sys_) ||
+      h0_.cols() != sys_.num_buses() - 1)
+    throw std::invalid_argument(
+        "SpaEvaluator: h_attacker does not have the system's measurement "
+        "dimensions");
+
+  bool recovered = recover_reference(
+      [&](std::size_t l, std::size_t c) { return h0_(l, c); });
+  if (recovered) {
+    const linalg::Matrix rebuilt = grid::measurement_matrix(sys_, x_ref_);
+    const double scale = std::max(1.0, h0_.max_abs());
+    recovered = linalg::max_abs_diff(rebuilt, h0_) <= 1e-8 * scale;
+  }
+  build_basis(recovered);
+}
+
+SpaEvaluator::SpaEvaluator(const grid::PowerSystem& sys,
+                           const linalg::SparseMatrix& h_attacker)
+    : sys_(sys) {
+  if (h_attacker.rows() != grid::measurement_count(sys_) ||
+      h_attacker.cols() != sys_.num_buses() - 1)
+    throw std::invalid_argument(
+        "SpaEvaluator: h_attacker does not have the system's measurement "
+        "dimensions");
+
+  // Recognition and verification on the sparse entries (O(nnz), no dense
+  // intermediate): flow rows hold at most two stored values each.
+  bool recovered = recover_reference([&](std::size_t l, std::size_t c) {
+    return h_attacker.coeff(l, c);
+  });
+  if (recovered) {
+    const linalg::SparseMatrix rebuilt =
+        grid::sparse_measurement_matrix(sys_, x_ref_);
+    const double scale = std::max(1.0, h_attacker.max_abs());
+    recovered = linalg::max_abs_diff(rebuilt, h_attacker) <= 1e-8 * scale;
+  }
+  // Only the QR basis — dense by nature — materializes the full block.
+  h0_ = h_attacker.to_dense();
+  build_basis(recovered);
 }
 
 double SpaEvaluator::gamma(const linalg::Vector& x) const {

@@ -4,6 +4,7 @@
 
 #include "grid/power_system.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/sparse_matrix.hpp"
 #include "linalg/vector.hpp"
 
 namespace mtdgrid::mtd {
@@ -70,6 +71,15 @@ class SpaEvaluator {
   /// (2L + N rows, N - 1 columns); throws std::invalid_argument otherwise.
   SpaEvaluator(const grid::PowerSystem& sys, const linalg::Matrix& h_attacker);
 
+  /// Sparse construction path (storage-policy backbone): `h_attacker` in
+  /// CSR, e.g. from `grid::sparse_measurement_matrix`. Reference-reactance
+  /// recognition and its verification run on the O(L + N) stored entries
+  /// instead of the dense M x (N-1) block; only the attacker QR basis Q0
+  /// — inherently dense — is then materialized. The rank-k gamma() update
+  /// math is shared with the dense constructor unchanged.
+  SpaEvaluator(const grid::PowerSystem& sys,
+               const linalg::SparseMatrix& h_attacker);
+
   /// gamma(h_attacker, H(sys, x)) — the largest-principal-angle SPA metric,
   /// identical (to ~1e-12 rad) to `spa(h_attacker, measurement_matrix(sys,
   /// x))`. `x` is the full length-L reactance vector, all entries > 0.
@@ -87,6 +97,16 @@ class SpaEvaluator {
   const linalg::Vector& reference_reactances() const { return x_ref_; }
 
  private:
+  /// Shared tail of both constructors: thin-QR factorization of h0_ (the
+  /// incremental path when `recovered`, the cached-Q0 fallback otherwise).
+  void build_basis(bool recovered);
+
+  /// Recovers x_ref/d_ref from the forward-flow rows; `flow_entry(l, c)`
+  /// reads H(l, c). Returns false when any branch yields no positive
+  /// susceptance.
+  template <typename FlowEntry>
+  bool recover_reference(const FlowEntry& flow_entry);
+
   grid::PowerSystem sys_;       // value copy: the evaluator owns its model
   linalg::Matrix h0_;           // attacker matrix
   linalg::Matrix q0_;           // orthonormal basis of Col(h0)

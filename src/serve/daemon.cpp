@@ -359,6 +359,7 @@ std::string MtdDaemon::reply_status(const Request& req) {
   reply.set("ok", Json(true));
   reply.set("op", Json("status"));
   if (req.has_id) reply.set("id", Json(req.id));
+  reply.set("proto", Json(static_cast<std::size_t>(kProtocolVersion)));
   reply.set("case", Json(case_name_));
   reply.set("hour", Json(snap->hour));
   reply.set("trace_hour", Json(snap->trace_hour));

@@ -9,6 +9,14 @@
 
 namespace mtdgrid::serve {
 
+/// The wire-protocol version reported by `status` replies (`"proto"`
+/// field). Clients pin this to detect incompatible daemons. History:
+/// 1 = the original verb set; 2 = `status` advertises the version
+/// itself (this constant). Bump only for changes an existing client
+/// could misparse — added reply fields are backward compatible and do
+/// not bump it.
+inline constexpr int kProtocolVersion = 2;
+
 /// The request verbs of the daemon's wire protocol (grammar and one
 /// worked request/reply example per verb in DESIGN.md "Serving
 /// architecture").

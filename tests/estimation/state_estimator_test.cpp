@@ -101,6 +101,110 @@ TEST(StateEstimatorTest, AttackResidualNormBounds) {
   }
 }
 
+// --- sparse storage policy ----------------------------------------------
+
+TEST(StateEstimatorSparseTest, ReportsStoragePolicy) {
+  const grid::PowerSystem sys = grid::make_case_ieee14();
+  const StateEstimator dense(grid::measurement_matrix(sys), 1.0);
+  const StateEstimator sparse(grid::sparse_measurement_matrix(sys), 1.0);
+  EXPECT_EQ(dense.storage(), linalg::StoragePolicy::kDense);
+  EXPECT_EQ(sparse.storage(), linalg::StoragePolicy::kSparse);
+  EXPECT_EQ(sparse.num_measurements(), dense.num_measurements());
+  EXPECT_EQ(sparse.state_dimension(), dense.state_dimension());
+  EXPECT_EQ(sparse.residual_dof(), dense.residual_dof());
+  EXPECT_EQ(linalg::max_abs_diff(sparse.sparse_h().to_dense(), dense.h()),
+            0.0);
+}
+
+TEST(StateEstimatorSparseTest, AgreesWithDenseOnCase14) {
+  const grid::PowerSystem sys = grid::make_case_ieee14();
+  const linalg::Matrix h = grid::measurement_matrix(sys);
+  const double sigma = 0.6;
+  const StateEstimator dense(h, sigma);
+  const StateEstimator sparse(grid::sparse_measurement_matrix(sys), sigma);
+
+  stats::Rng rng(20);
+  for (int trial = 0; trial < 5; ++trial) {
+    const linalg::Vector theta = test::random_vector(h.cols(), rng, 0.1);
+    linalg::Vector z = h * theta;
+    for (std::size_t i = 0; i < z.size(); ++i) z[i] += rng.gaussian(0, sigma);
+    EXPECT_LT(linalg::max_abs_diff(sparse.estimate(z), dense.estimate(z)),
+              1e-10);
+    EXPECT_LT(linalg::max_abs_diff(sparse.residual(z), dense.residual(z)),
+              1e-10);
+    EXPECT_NEAR(sparse.normalized_residual_norm(z),
+                dense.normalized_residual_norm(z), 1e-9);
+  }
+}
+
+TEST(StateEstimatorSparseTest, ConjugateGradientOptionAgreesToo) {
+  const grid::PowerSystem sys = grid::make_case_ieee14();
+  const linalg::Matrix h = grid::measurement_matrix(sys);
+  linalg::SolverOptions options;
+  options.method = linalg::SolverOptions::Method::kConjugateGradient;
+  const StateEstimator dense(h, 1.0);
+  const StateEstimator cg(grid::sparse_measurement_matrix(sys), 1.0,
+                          options);
+  stats::Rng rng(21);
+  const linalg::Vector z = test::random_vector(h.rows(), rng);
+  EXPECT_LT(linalg::max_abs_diff(cg.estimate(z), dense.estimate(z)), 1e-8);
+}
+
+TEST(StateEstimatorSparseTest, PerSensorSigmasSupported) {
+  const grid::PowerSystem sys = grid::make_case_ieee14();
+  const linalg::Matrix h = grid::measurement_matrix(sys);
+  stats::Rng rng(22);
+  linalg::Vector sigmas(h.rows());
+  for (std::size_t i = 0; i < sigmas.size(); ++i)
+    sigmas[i] = rng.uniform(0.2, 2.0);
+  const StateEstimator dense(h, sigmas);
+  const StateEstimator sparse(grid::sparse_measurement_matrix(sys), sigmas);
+  const linalg::Vector z = test::random_vector(h.rows(), rng);
+  EXPECT_LT(linalg::max_abs_diff(sparse.estimate(z), dense.estimate(z)),
+            1e-10);
+}
+
+TEST(StateEstimatorSparseTest, CopyAndMoveKeepTheFactorization) {
+  const grid::PowerSystem sys = grid::make_case_ieee14();
+  const linalg::Matrix h = grid::measurement_matrix(sys);
+  stats::Rng rng(23);
+  const linalg::Vector z = test::random_vector(h.rows(), rng);
+
+  StateEstimator original(grid::sparse_measurement_matrix(sys), 1.0);
+  const linalg::Vector expected = original.estimate(z);
+
+  // Copy: re-factorizes against the copy's own matrix.
+  const StateEstimator copy(original);
+  EXPECT_EQ(linalg::max_abs_diff(copy.estimate(z), expected), 0.0);
+
+  // Copy-assign over a dense estimator.
+  StateEstimator assigned(h, 1.0);
+  assigned = original;
+  EXPECT_EQ(assigned.storage(), linalg::StoragePolicy::kSparse);
+  EXPECT_EQ(linalg::max_abs_diff(assigned.estimate(z), expected), 0.0);
+
+  // Move: the factor survives (the solver views heap-held storage).
+  const StateEstimator moved(std::move(original));
+  EXPECT_EQ(linalg::max_abs_diff(moved.estimate(z), expected), 0.0);
+}
+
+TEST(StateEstimatorSparseTest, RejectsInvalidConstruction) {
+  const grid::PowerSystem sys = grid::make_case_ieee14();
+  const linalg::SparseMatrix hs = grid::sparse_measurement_matrix(sys);
+  EXPECT_THROW(StateEstimator(hs, 0.0), std::invalid_argument);
+  EXPECT_THROW(StateEstimator(hs, linalg::Vector(3, 1.0)),
+               std::invalid_argument);
+
+  // Rank-deficient sparse H (duplicate columns) must be rejected at
+  // construction, like the dense policy's Cholesky failure.
+  linalg::TripletBuilder builder(5, 2);
+  for (std::size_t i = 0; i < 5; ++i) {
+    builder.add(i, 0, static_cast<double>(i + 1));
+    builder.add(i, 1, 2.0 * static_cast<double>(i + 1));
+  }
+  EXPECT_THROW(StateEstimator(builder.build(), 1.0), std::runtime_error);
+}
+
 TEST(StateEstimatorTest, RejectsInvalidConstruction) {
   const linalg::Matrix h = ieee14_h();
   EXPECT_THROW(StateEstimator(h, 0.0), std::invalid_argument);

@@ -104,6 +104,45 @@ TEST(MeasurementTest, ScalingAllReactancesScalesH) {
   EXPECT_NEAR(linalg::max_abs_diff(h_scaled, h * (1.0 + eta)), 0.0, 1e-9);
 }
 
+// --- sparse construction path -------------------------------------------
+
+TEST(MeasurementSparseTest, SparseMatrixEqualsDenseBitForBit) {
+  // The storage-policy contract: sparse H emits its contributions in the
+  // same branch order the dense susceptance accumulation uses, so every
+  // stored value is bit-identical to the dense entry — exact ==, not NEAR.
+  for (const PowerSystem& sys :
+       {make_case4(), make_case_wscc9(), make_case_ieee14(),
+        make_case57()}) {
+    const linalg::Matrix h = measurement_matrix(sys);
+    const linalg::SparseMatrix hs = sparse_measurement_matrix(sys);
+    ASSERT_EQ(hs.rows(), h.rows()) << sys.name();
+    ASSERT_EQ(hs.cols(), h.cols()) << sys.name();
+    EXPECT_EQ(linalg::max_abs_diff(hs.to_dense(), h), 0.0) << sys.name();
+  }
+}
+
+TEST(MeasurementSparseTest, SparseMatrixEqualsDenseForPerturbedReactances) {
+  const PowerSystem sys = make_case_ieee14();
+  stats::Rng rng(700);
+  const linalg::Vector lo = sys.reactance_lower_limits();
+  const linalg::Vector hi = sys.reactance_upper_limits();
+  linalg::Vector x = sys.reactances();
+  for (std::size_t l : sys.dfacts_branches()) x[l] = rng.uniform(lo[l], hi[l]);
+  const linalg::Matrix h = measurement_matrix(sys, x);
+  const linalg::SparseMatrix hs = sparse_measurement_matrix(sys, x);
+  EXPECT_EQ(linalg::max_abs_diff(hs.to_dense(), h), 0.0);
+}
+
+TEST(MeasurementSparseTest, SparsityIsBoundedByEightEntriesPerBranch) {
+  // 2 endpoint entries per flow row (2L rows) plus 4 injection
+  // contributions per branch: nnz <= 8L, minus slack-column drops.
+  const PowerSystem sys = make_case57();
+  const linalg::SparseMatrix hs = sparse_measurement_matrix(sys);
+  EXPECT_LE(hs.nnz(), 8 * sys.num_branches());
+  // Far below the dense M x (N-1) block at 57-bus scale and beyond.
+  EXPECT_LT(hs.nnz(), hs.rows() * hs.cols() / 4);
+}
+
 // --- incremental row updates vs full rebuild ----------------------------
 
 class IncrementalUpdateProperty : public ::testing::TestWithParam<int> {};

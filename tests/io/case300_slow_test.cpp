@@ -1,14 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
+#include "estimation/bdd.hpp"
 #include "grid/cases.hpp"
 #include "grid/measurement.hpp"
 #include "grid/power_flow.hpp"
 #include "linalg/subspace.hpp"
 #include "mtd/spa.hpp"
 #include "opf/dc_opf.hpp"
+#include "stats/rng.hpp"
 
 namespace mtdgrid {
 namespace {
@@ -82,6 +85,42 @@ TEST(Case300SlowTest, FastSpaPositiveUnderPerturbation) {
               linalg::largest_principal_angle_qr(
                   h0, grid::measurement_matrix(sys, x)),
               1e-9);
+}
+
+TEST(Case300SlowTest, SparseStateEstimationMatchesDenseTo1em10) {
+  // PR acceptance criterion: at 300-bus scale the sparse policy must
+  // reproduce the dense WLS state estimates, residual norms, and BDD
+  // verdicts to <= 1e-10.
+  const grid::PowerSystem sys = grid::make_case300();
+  const linalg::Matrix h = grid::measurement_matrix(sys);
+  const linalg::SparseMatrix hs = grid::sparse_measurement_matrix(sys);
+  EXPECT_EQ(linalg::max_abs_diff(hs.to_dense(), h), 0.0);
+
+  const double sigma = 0.01;
+  const estimation::StateEstimator dense(h, sigma);
+  const estimation::StateEstimator sparse(hs, sigma);
+  const estimation::BadDataDetector dense_bdd(dense, 0.05);
+  const estimation::BadDataDetector sparse_bdd(sparse, 0.05);
+  EXPECT_DOUBLE_EQ(sparse_bdd.threshold(), dense_bdd.threshold());
+
+  stats::Rng rng(3001);
+  for (int trial = 0; trial < 3; ++trial) {
+    linalg::Vector theta(h.cols());
+    for (std::size_t i = 0; i < theta.size(); ++i)
+      theta[i] = 0.1 * rng.gaussian();
+    linalg::Vector z = h * theta;
+    for (std::size_t i = 0; i < z.size(); ++i)
+      z[i] += rng.gaussian(0.0, sigma);
+
+    const linalg::Vector x_dense = dense.estimate(z);
+    const double scale = std::max(1.0, x_dense.norm_inf());
+    EXPECT_LT(linalg::max_abs_diff(sparse.estimate(z), x_dense),
+              1e-10 * scale);
+    const double rd = dense.normalized_residual_norm(z);
+    const double rs = sparse.normalized_residual_norm(z);
+    EXPECT_NEAR(rs, rd, 1e-10 * std::max(1.0, rd));
+    EXPECT_EQ(sparse_bdd.alarm(rs), dense_bdd.alarm(rd));
+  }
 }
 
 }  // namespace

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 
@@ -73,6 +75,20 @@ TEST(CaseRegistryTest, MissingFileThrowsWithPath) {
   } catch (const CaseIoError& e) {
     EXPECT_NE(std::string(e.what()).find("/nonexistent/dir/case.m"),
               std::string::npos);
+  }
+}
+
+TEST(CaseRegistryTest, MissingFileMessagePinnedWithStrerror) {
+  // Pins the full unreadable-path diagnostic: the attempted filesystem
+  // path plus the OS reason, so a misspelled path and a permission
+  // problem read differently.
+  try {
+    load_case("/nonexistent/dir/case.m");
+    FAIL() << "expected CaseIoError";
+  } catch (const CaseIoError& e) {
+    EXPECT_EQ(std::string(e.what()),
+              std::string("/nonexistent/dir/case.m: cannot open file (") +
+                  std::strerror(ENOENT) + ")");
   }
 }
 

@@ -267,5 +267,52 @@ TEST(SpaEvaluatorTest, RejectsWrongDimensions) {
   EXPECT_THROW(eval.gamma(linalg::Vector(2)), std::invalid_argument);
 }
 
+// --- sparse attacker-matrix construction --------------------------------
+
+TEST(SpaEvaluatorSparseTest, SparseConstructionEntersIncrementalMode) {
+  // Sparse H from the storage-policy path: recognition runs on the CSR
+  // entries and the evaluator behaves exactly like its dense twin.
+  const grid::PowerSystem sys = grid::make_case14();
+  const linalg::Matrix h0 = grid::measurement_matrix(sys);
+  const SpaEvaluator dense_eval(sys, h0);
+  const SpaEvaluator sparse_eval(sys, grid::sparse_measurement_matrix(sys));
+  ASSERT_TRUE(sparse_eval.incremental());
+
+  stats::Rng rng(9);
+  const linalg::Vector lo = sys.reactance_lower_limits();
+  const linalg::Vector hi = sys.reactance_upper_limits();
+  for (int t = 0; t < 5; ++t) {
+    linalg::Vector x = sys.reactances();
+    for (std::size_t l : sys.dfacts_branches())
+      if (rng.uniform() < 0.7) x[l] = rng.uniform(lo[l], hi[l]);
+    const double reference = spa(h0, grid::measurement_matrix(sys, x));
+    EXPECT_NEAR(sparse_eval.gamma(x), reference, 1e-10);
+    // Sparse and dense construction share the exact same H0, so their
+    // gammas agree bit for bit.
+    EXPECT_EQ(sparse_eval.gamma(x), dense_eval.gamma(x));
+  }
+  EXPECT_EQ(sparse_eval.gamma(sys.reactances()), 0.0);
+}
+
+TEST(SpaEvaluatorSparseTest, UnrecognizedSparseMatrixFallsBack) {
+  const grid::PowerSystem sys = grid::make_case14();
+  // Corrupt one flow entry: no reactance vector reproduces this matrix.
+  linalg::Matrix h = grid::measurement_matrix(sys);
+  h(0, 0) *= 1.5;
+  const SpaEvaluator eval(sys, linalg::SparseMatrix::from_dense(h));
+  EXPECT_FALSE(eval.incremental());
+
+  linalg::Vector x = sys.reactances();
+  x[sys.dfacts_branches()[0]] *= 1.3;
+  EXPECT_NEAR(eval.gamma(x), spa(h, grid::measurement_matrix(sys, x)),
+              1e-10);
+}
+
+TEST(SpaEvaluatorSparseTest, RejectsWrongSparseDimensions) {
+  const grid::PowerSystem sys = grid::make_case14();
+  EXPECT_THROW(SpaEvaluator(sys, linalg::SparseMatrix(3, 2)),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace mtdgrid::mtd

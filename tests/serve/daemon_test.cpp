@@ -31,6 +31,10 @@ std::unique_ptr<MtdDaemon> ServeDaemonTest::daemon_;
 TEST_F(ServeDaemonTest, ServesStatusAndDispatch) {
   const Json status = Json::parse(daemon_->handle_line(R"({"op":"status"})"));
   EXPECT_TRUE(status.find("ok")->as_bool());
+  // The advertised protocol version is part of the wire contract:
+  // clients pin it to detect incompatible daemons.
+  EXPECT_EQ(status.find("proto")->as_number(), 2.0);
+  EXPECT_EQ(status.find("proto")->as_number(), kProtocolVersion);
   EXPECT_EQ(status.find("case")->as_string(), "ieee14");
   EXPECT_EQ(status.find("hour")->as_number(), 0.0);
   EXPECT_EQ(status.find("hours_per_day")->as_number(), 24.0);

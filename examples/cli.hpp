@@ -91,6 +91,18 @@ class Cli {
     flags_.emplace_back(std::move(name), std::move(apply));
   }
 
+  /// Registers `--name` taking a non-empty string value (an empty value
+  /// rejects the invocation like any other flag violation).
+  void flag_str(std::string name,
+                std::function<void(const std::string&)> apply) {
+    flags_.emplace_back(std::move(name),
+                        [apply = std::move(apply)](const char* raw) {
+                          if (raw == nullptr || *raw == '\0') return false;
+                          apply(raw);
+                          return true;
+                        });
+  }
+
   /// The standard `--threads N` option: sizes the global worker pool
   /// (identical bounds and semantics in every binary; see
   /// example_util.hpp).

@@ -21,11 +21,14 @@
 // Usage:
 //   mtd_daemon [--threads N] [--seed S] [--port P] [--history H]
 //              [--shards N] [--attacks N] [--starts N] [--evals N]
-//              [--base-evals N] [--rekey-ms MS] [case]
+//              [--base-evals N] [--rekey-ms MS] [--trace-out FILE] [case]
 //   mtd_daemon --client PORT [--request JSON]...
 //
 // Defaults: case14, seed 7, port 0 (kernel-assigned, printed on stdout),
-// history 24 hours, 1 shard, manual re-keying (rekey-ms 0).
+// history 24 hours, 1 shard, manual re-keying (rekey-ms 0). --trace-out
+// enables the process-wide span tracer and writes everything collected
+// over the daemon's lifetime as Chrome trace_event JSON (Perfetto /
+// chrome://tracing) at shutdown.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -39,6 +42,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -46,6 +50,7 @@
 
 #include "cli.hpp"
 #include "io/case_registry.hpp"
+#include "obs/trace.hpp"
 #include "serve/daemon.hpp"
 #include "serve/server.hpp"
 #include "serve/sharded.hpp"
@@ -121,6 +126,7 @@ int main(int argc, char** argv) {
   unsigned long long port = 0;
   unsigned long long rekey_ms = 0;
   unsigned long long shards = 1;
+  std::string trace_out;
   bool client_mode = false;
   unsigned long long client_port = 0;
   std::vector<std::string> client_requests;
@@ -130,7 +136,7 @@ int main(int argc, char** argv) {
       argv[0],
       {"[--threads N] [--seed S] [--port P] [--history H]",
        "[--shards N] [--attacks N] [--starts N] [--evals N]",
-       "[--base-evals N] [--rekey-ms MS] [case]"});
+       "[--base-evals N] [--rekey-ms MS] [--trace-out FILE] [case]"});
   cli.alternative("--client PORT [--request JSON]...");
   cli.flag_threads();
   cli.flag_u64("--seed", 0, ~0ULL,
@@ -154,6 +160,8 @@ int main(int argc, char** argv) {
   cli.flag_u64("--shards", 1, 64, [&](unsigned long long v) { shards = v; });
   cli.flag_u64("--rekey-ms", 0, 86400000,
                [&](unsigned long long v) { rekey_ms = v; });
+  cli.flag_str("--trace-out",
+               [&](const std::string& path) { trace_out = path; });
   cli.flag_u64("--client", 1, 65535, [&](unsigned long long v) {
     client_mode = true;
     client_port = v;
@@ -174,7 +182,8 @@ int main(int argc, char** argv) {
   });
   if (!cli.parse(argc, argv)) return 2;
   if (client_mode) {
-    if (case_set || port != 0 || rekey_ms != 0 || shards != 1)
+    if (case_set || port != 0 || rekey_ms != 0 || shards != 1 ||
+        !trace_out.empty())
       return cli.usage();
     return run_client(static_cast<std::uint16_t>(client_port),
                       client_requests);
@@ -183,6 +192,10 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+
+  // Enable span collection before construction so the pass-1 baseline
+  // and hour-0 keying show up in the trace.
+  if (!trace_out.empty()) obs::Tracer::global().set_enabled(true);
 
   std::printf("mtd-daemon: loading %llu x %s and keying hour 0...\n",
               shards, options.case_name.c_str());
@@ -271,16 +284,45 @@ int main(int argc, char** argv) {
   if (rekey_thread.joinable()) rekey_thread.join();
 
   serve::DaemonCounters counters;  // summed across shards
-  for_each_shard([&counters](const serve::MtdDaemon& shard) {
+  obs::WorkSnapshot work{};        // engine work, summed across shards
+  for_each_shard([&](const serve::MtdDaemon& shard) {
     const serve::DaemonCounters c = shard.counters();
     counters.requests += c.requests;
     counters.errors += c.errors;
     counters.ticks += c.ticks;
+    const obs::WorkSnapshot w = shard.registry().work_snapshot();
+    for (std::size_t i = 0; i < obs::kWorkCount; ++i) work[i] += w[i];
   });
   std::printf("mtd-daemon: shutting down after %llu requests "
               "(%llu errors, %llu re-keys)\n",
               static_cast<unsigned long long>(counters.requests),
               static_cast<unsigned long long>(counters.errors),
               static_cast<unsigned long long>(counters.ticks));
+  const auto work_of = [&](mtdgrid::obs::Work w) {
+    return static_cast<unsigned long long>(
+        work[static_cast<std::size_t>(w)]);
+  };
+  std::printf("mtd-daemon: engine work: %llu LP solves, %llu simplex "
+              "pivots, %llu MC trials, %llu engine hours\n",
+              work_of(obs::Work::kSimplexSolves),
+              work_of(obs::Work::kSimplexPhase1Iterations) +
+                  work_of(obs::Work::kSimplexPhase2Iterations),
+              work_of(obs::Work::kMcTrials),
+              work_of(obs::Work::kEngineHours));
+
+  if (!trace_out.empty()) {
+    // Workers are quiesced (server stopped, scheduler joined), so the
+    // drain sees every span recorded over the daemon's lifetime.
+    const std::vector<obs::TraceEvent> events = obs::Tracer::global().drain();
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "mtd_daemon: cannot write %s\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    obs::write_chrome_trace(out, events);
+    std::printf("mtd-daemon: wrote %zu trace events to %s\n", events.size(),
+                trace_out.c_str());
+  }
   return 0;
 }

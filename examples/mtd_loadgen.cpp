@@ -225,6 +225,16 @@ int main(int argc, char** argv) {
                               : sum / static_cast<double>(all.size())));
   latency.set("max", serve::Json(all.empty() ? 0.0 : all.back()));
   out.set("latency_us", std::move(latency));
+  // Fleet-wide engine work behind the run (deterministic counters only,
+  // summed over shards): what the requests cost, not just how fast they
+  // came back.
+  const obs::WorkSnapshot fleet_work = fleet->aggregate_work();
+  serve::Json work;
+  for (std::size_t i = 0; i < obs::kWorkCount; ++i) {
+    const obs::WorkInfo& info = obs::work_info(static_cast<obs::Work>(i));
+    if (info.deterministic) work.set(info.name, serve::Json(fleet_work[i]));
+  }
+  out.set("work", std::move(work));
   std::printf("%s\n", out.dump().c_str());
   return errors == 0 ? 0 : 1;
 }

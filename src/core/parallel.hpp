@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/thread_pool.hpp"
+#include "obs/scope.hpp"
 
 namespace mtdgrid::core {
 
@@ -24,6 +25,10 @@ namespace mtdgrid::core {
 /// bit-identical to a solo run.
 template <typename Fn>
 void parallel_for(std::size_t count, Fn&& fn, ThreadPool* pool = nullptr) {
+  // Structural counters (see obs::WorkInfo::deterministic): callers may
+  // shape their regions by worker count, so these are Prometheus-only.
+  obs::add(obs::Work::kPoolRegions);
+  obs::add(obs::Work::kPoolTasks, count);
   ThreadPool& p = pool != nullptr ? *pool : ThreadPool::global();
   const std::size_t workers = std::min(p.num_threads(), count);
   if (workers <= 1 || ThreadPool::in_parallel_region()) {
@@ -51,6 +56,8 @@ void parallel_for(std::size_t count, Fn&& fn, ThreadPool* pool = nullptr) {
 template <typename MakeState, typename Fn>
 void parallel_for_with_state(std::size_t count, MakeState&& make_state,
                              Fn&& fn, ThreadPool* pool = nullptr) {
+  obs::add(obs::Work::kPoolRegions);
+  obs::add(obs::Work::kPoolTasks, count);
   ThreadPool& p = pool != nullptr ? *pool : ThreadPool::global();
   const std::size_t workers = std::min(p.num_threads(), count);
   if (workers <= 1 || ThreadPool::in_parallel_region()) {
@@ -92,6 +99,8 @@ void parallel_for_with_shared_state(std::size_t count,
                                     WorkerStates<State>& states,
                                     MakeState&& make_state, Fn&& fn,
                                     ThreadPool* pool = nullptr) {
+  obs::add(obs::Work::kPoolRegions);
+  obs::add(obs::Work::kPoolTasks, count);
   ThreadPool& p = pool != nullptr ? *pool : ThreadPool::global();
   const std::size_t workers = std::min(p.num_threads(), count);
   const auto state_for = [&](std::size_t slot) -> State& {

@@ -50,6 +50,7 @@ void ThreadPool::worker_loop() {
   for (;;) {
     const std::function<void(std::size_t)>* job = nullptr;
     std::size_t workers = 0;
+    obs::ThreadContext ctx;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_cv_.wait(lock, [&] {
@@ -59,7 +60,12 @@ void ThreadPool::worker_loop() {
       seen_generation = generation_;
       job = job_;
       workers = job_workers_;
+      ctx = job_context_;
     }
+    // Record into the submitter's registry/capture for this region; the
+    // inline path in `run` inherits the submitter's thread-locals
+    // directly and needs no scope.
+    obs::ScopedContext obs_scope(ctx);
     execute(job, workers);
   }
 }
@@ -115,6 +121,7 @@ void ThreadPool::run(std::size_t workers,
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &job;
     job_workers_ = workers;
+    job_context_ = obs::thread_context();
     // Every background thread participates in the completion barrier even
     // when workers < pool size (it wakes, finds no id, reports finished).
     // This full-pool handshake is what makes generation/cursor reuse safe:

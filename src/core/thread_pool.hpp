@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/scope.hpp"
+
 namespace mtdgrid::core {
 
 /// Fixed-size worker pool behind every `parallel_*` helper (parallel.hpp).
@@ -80,6 +82,12 @@ class ThreadPool {
   std::condition_variable done_cv_;   // signals all participants finished
   std::uint64_t generation_ = 0;      // bumped once per `run`
   const std::function<void(std::size_t)>* job_ = nullptr;
+  // The submitting thread's observability context (obs/scope.hpp),
+  // captured in `run` and installed on each background worker for the
+  // region: tasks record work into the submitter's registry (e.g. a
+  // daemon shard's), not the workers' defaults. Work counters are
+  // integer sums, so attribution stays thread-count invariant.
+  obs::ThreadContext job_context_;
   std::size_t job_workers_ = 0;       // worker ids handed out this run
   std::size_t participants_ = 0;      // threads that must report finished
   std::size_t finished_ = 0;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "core/parallel.hpp"
+#include "obs/scope.hpp"
 #include "stats/distributions.hpp"
 
 namespace mtdgrid::estimation {
@@ -35,6 +36,8 @@ double monte_carlo_detection_probability_seeded(
   assert(attack.size() == estimator.num_measurements());
   assert(z_base.size() == estimator.num_measurements());
   assert(trials > 0);
+  obs::add(obs::Work::kMcTrials, static_cast<std::uint64_t>(trials));
+  obs::Span span("estimation.mc_detect", "estimation");
 
   const std::size_t m = estimator.num_measurements();
   // Trials partition freely across workers: trial t's noise comes from its

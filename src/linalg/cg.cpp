@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/scope.hpp"
+
 namespace mtdgrid::linalg {
 
 JacobiPreconditioner::JacobiPreconditioner(const SparseMatrix& a)
@@ -104,7 +106,17 @@ CgResult preconditioned_cg(const SparseMatrix& a, const Vector& b,
   const std::size_t max_iterations =
       options.max_iterations > 0 ? options.max_iterations : 4 * n;
 
+  obs::add(obs::Work::kCgSolves);
+  obs::Span span("linalg.cg", "linalg");
   CgResult result;
+  // Flush the iteration tally on every exit path (converged, breakdown,
+  // budget exhausted) with one atomic add per solve.
+  struct IterationFlush {
+    const CgResult& result;
+    ~IterationFlush() {
+      obs::add(obs::Work::kCgIterations, result.iterations);
+    }
+  } flush{result};
   result.x = Vector(n);
   const double b_norm = b.norm();
   if (b_norm == 0.0) {
@@ -119,7 +131,10 @@ CgResult preconditioned_cg(const SparseMatrix& a, const Vector& b,
   for (std::size_t it = 0; it < max_iterations; ++it) {
     const Vector ap = a * p;
     const double pap = p.dot(ap);
-    if (!(pap > 0.0)) break;  // breakdown: A not SPD along p
+    if (!(pap > 0.0)) {  // breakdown: A not SPD along p
+      obs::add(obs::Work::kCgBreakdowns);
+      break;
+    }
     const double alpha = rz / pap;
     for (std::size_t i = 0; i < n; ++i) result.x[i] += alpha * p[i];
     for (std::size_t i = 0; i < n; ++i) r[i] -= alpha * ap[i];

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <set>
 
+#include "obs/scope.hpp"
+
 namespace mtdgrid::linalg {
 
 std::vector<std::size_t> minimum_degree_ordering(const SparseMatrix& a) {
@@ -65,6 +67,8 @@ SparseCholesky::SparseCholesky(const SparseMatrix& a,
 }
 
 void SparseCholesky::factorize(const SparseMatrix& a) {
+  obs::add(obs::Work::kCholeskyFactorizations);
+  obs::Span span("linalg.sparse_cholesky", "linalg");
   const std::size_t n = n_;
   constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
@@ -158,6 +162,7 @@ void SparseCholesky::factorize(const SparseMatrix& a) {
                       col_rows[j].end());
     l_values_.insert(l_values_.end(), col_vals[j].begin(), col_vals[j].end());
   }
+  obs::add(obs::Work::kCholeskyFactorNnz, l_values_.size());
 }
 
 Vector SparseCholesky::solve(const Vector& b) const {

@@ -6,6 +6,7 @@
 
 #include "grid/measurement.hpp"
 #include "mtd/spa.hpp"
+#include "obs/scope.hpp"
 #include "opf/reactance_opf.hpp"
 
 namespace mtdgrid::mtd {
@@ -70,6 +71,8 @@ DailyEngine::DailyEngine(grid::PowerSystem sys, grid::DailyLoadTrace trace,
 }
 
 DailyHourOutcome DailyEngine::advance_hour(stats::Rng& rng) {
+  obs::add(obs::Work::kEngineHours);
+  obs::Span span("mtd.advance_hour", "mtd");
   const std::size_t hours = trace_.size();
   const std::size_t h = hour_ % hours;  // trace hour of this step
 

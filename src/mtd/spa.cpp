@@ -9,6 +9,7 @@
 #include "linalg/qr.hpp"
 #include "linalg/subspace.hpp"
 #include "linalg/svd.hpp"
+#include "obs/scope.hpp"
 
 namespace mtdgrid::mtd {
 
@@ -113,6 +114,7 @@ double SpaEvaluator::gamma(const linalg::Vector& x) const {
   if (x.size() != sys_.num_branches())
     throw std::invalid_argument("SpaEvaluator: reactance vector length");
   if (!incremental_) return gamma_full(grid::measurement_matrix(sys_, x));
+  obs::add(obs::Work::kSpaFastPathEvals);
 
   // Relative tolerance: the x_ref recovered from h_attacker carries ~1e-16
   // reconstruction rounding, so candidates numerically equal to the
@@ -209,6 +211,7 @@ double SpaEvaluator::gamma(const linalg::Vector& x) const {
 }
 
 double SpaEvaluator::gamma_full(const linalg::Matrix& h_new) const {
+  obs::add(obs::Work::kSpaFullEvals);
   if (h_new.rows() != h0_.rows())
     throw std::invalid_argument(
         "SpaEvaluator: candidate matrix row dimension");

@@ -1,0 +1,114 @@
+#include "obs/prometheus.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace mtdgrid::obs {
+
+namespace {
+
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string format_prometheus_double(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g",
+                std::numeric_limits<double>::max_digits10, v);
+  return buf;
+}
+
+void PrometheusBuilder::header(const std::string& name,
+                               const std::string& help, const char* type) {
+  text_ += "# HELP " + name + " " + help + "\n";
+  text_ += "# TYPE " + name + " ";
+  text_ += type;
+  text_ += "\n";
+}
+
+void PrometheusBuilder::sample(const std::string& name,
+                               const std::vector<Label>& labels,
+                               const std::string& value) {
+  text_ += name;
+  if (!labels.empty()) {
+    text_ += "{";
+    bool first = true;
+    for (const Label& l : labels) {
+      if (!first) text_ += ",";
+      first = false;
+      text_ += l.name + "=\"" + escape_label_value(l.value) + "\"";
+    }
+    text_ += "}";
+  }
+  text_ += " " + value + "\n";
+}
+
+void PrometheusBuilder::counter(const std::string& name,
+                                const std::string& help, std::uint64_t value,
+                                const std::vector<Label>& labels) {
+  header(name, help, "counter");
+  sample(name, labels, std::to_string(value));
+}
+
+void PrometheusBuilder::counter_family(
+    const std::string& name, const std::string& help,
+    const std::vector<std::pair<std::vector<Label>, std::uint64_t>>&
+        samples) {
+  header(name, help, "counter");
+  for (const auto& [labels, value] : samples)
+    sample(name, labels, std::to_string(value));
+}
+
+void PrometheusBuilder::gauge(const std::string& name, const std::string& help,
+                              double value, const std::vector<Label>& labels) {
+  header(name, help, "gauge");
+  sample(name, labels, format_prometheus_double(value));
+}
+
+void PrometheusBuilder::histogram(const std::string& name,
+                                  const std::string& help,
+                                  const std::vector<double>& bounds,
+                                  const std::vector<std::uint64_t>& buckets,
+                                  std::uint64_t count, double sum) {
+  header(name, help, "histogram");
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    cumulative += i < buckets.size() ? buckets[i] : 0;
+    sample(name + "_bucket", {{"le", format_prometheus_double(bounds[i])}},
+           std::to_string(cumulative));
+  }
+  sample(name + "_bucket", {{"le", "+Inf"}}, std::to_string(count));
+  sample(name + "_sum", {}, format_prometheus_double(sum));
+  sample(name + "_count", {}, std::to_string(count));
+}
+
+void render_work_counters(PrometheusBuilder& builder,
+                          const WorkSnapshot& work) {
+  for (std::size_t i = 0; i < kWorkCount; ++i) {
+    const WorkInfo& info = work_info(static_cast<Work>(i));
+    builder.counter(std::string("mtdgrid_work_") + info.name + "_total",
+                    info.help, work[i]);
+  }
+}
+
+}  // namespace mtdgrid::obs

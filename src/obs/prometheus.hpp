@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mtdgrid::obs {
+
+/// Incremental builder for the Prometheus text exposition format
+/// (version 0.0.4): each series gets `# HELP` / `# TYPE` comment lines
+/// followed by its samples; histograms expand to cumulative `le`
+/// buckets plus `+Inf`, `_sum`, and `_count`, per the format spec.
+class PrometheusBuilder {
+ public:
+  /// One optional `name="value"` label pair on a sample.
+  struct Label {
+    std::string name;   ///< label name
+    std::string value;  ///< label value (escaped on output)
+  };
+
+  /// Emits a counter sample (with HELP/TYPE headers on first use of
+  /// `name`).
+  void counter(const std::string& name, const std::string& help,
+               std::uint64_t value, const std::vector<Label>& labels = {});
+
+  /// Emits one counter family: a single HELP/TYPE header followed by
+  /// several labeled samples (the exposition format allows one header
+  /// per family only).
+  void counter_family(
+      const std::string& name, const std::string& help,
+      const std::vector<std::pair<std::vector<Label>, std::uint64_t>>&
+          samples);
+
+  /// Emits a gauge sample.
+  void gauge(const std::string& name, const std::string& help, double value,
+             const std::vector<Label>& labels = {});
+
+  /// Emits a full histogram: cumulative `le` buckets over `bounds` (one
+  /// count per bucket in `buckets`, which has `bounds.size() + 1`
+  /// entries counting the overflow), then `+Inf`, `_sum`, `_count`.
+  void histogram(const std::string& name, const std::string& help,
+                 const std::vector<double>& bounds,
+                 const std::vector<std::uint64_t>& buckets,
+                 std::uint64_t count, double sum);
+
+  /// The exposition text built so far.
+  const std::string& text() const { return text_; }
+
+ private:
+  void header(const std::string& name, const std::string& help,
+              const char* type);
+  void sample(const std::string& name, const std::vector<Label>& labels,
+              const std::string& value);
+
+  std::string text_;
+};
+
+/// Formats `v` for exposition output: integral values print without a
+/// decimal point, everything else with round-trip precision.
+std::string format_prometheus_double(double v);
+
+/// Renders every fixed `Work` counter of `work` (deterministic and
+/// structural alike) into `builder` as `mtdgrid_work_<name>_total`.
+void render_work_counters(PrometheusBuilder& builder, const WorkSnapshot& work);
+
+}  // namespace mtdgrid::obs

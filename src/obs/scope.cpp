@@ -1,0 +1,10 @@
+#include "obs/scope.hpp"
+
+namespace mtdgrid::obs {
+
+ThreadContext& thread_context() noexcept {
+  thread_local ThreadContext ctx;
+  return ctx;
+}
+
+}  // namespace mtdgrid::obs

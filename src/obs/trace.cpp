@@ -1,0 +1,88 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace mtdgrid::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  // Pin the epoch no later than first tracer use so timestamps are
+  // non-negative.
+  (void)trace_epoch();
+  return tracer;
+}
+
+Tracer::Buffer& Tracer::thread_buffer() {
+  thread_local Buffer* cached = nullptr;
+  thread_local Tracer* cached_owner = nullptr;
+  if (cached == nullptr || cached_owner != this) {
+    auto owned = std::make_unique<Buffer>();
+    Buffer* raw = owned.get();
+    {
+      std::lock_guard<std::mutex> lock(buffers_mutex_);
+      buffers_.push_back(std::move(owned));
+    }
+    cached = raw;
+    cached_owner = this;
+  }
+  return *cached;
+}
+
+void Tracer::record(const TraceEvent& event) {
+  Buffer& buf = thread_buffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back(event);
+}
+
+std::vector<TraceEvent> Tracer::drain() {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  for (auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    out.insert(out.end(), buf->events.begin(), buf->events.end());
+    buf->events.clear();
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return out;
+}
+
+std::uint32_t Tracer::current_tid() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t tid = next.fetch_add(1);
+  return tid;
+}
+
+double Tracer::now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - trace_epoch())
+      .count();
+}
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events) {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << e.name << "\",\"cat\":\"" << e.category
+        << "\",\"ph\":\"X\",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us
+        << ",\"pid\":1,\"tid\":" << e.tid << "}";
+  }
+  out << "]}\n";
+}
+
+}  // namespace mtdgrid::obs

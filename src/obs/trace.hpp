@@ -1,0 +1,106 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace mtdgrid::obs {
+
+/// One completed span, in Chrome `trace_event` "complete" (`ph:"X"`)
+/// terms. `name` and `category` must point at string literals (or other
+/// storage outliving the tracer) — spans never copy strings on the hot
+/// path.
+struct TraceEvent {
+  const char* name;      ///< span name, e.g. "opf.simplex"
+  const char* category;  ///< span category, e.g. "serve"
+  std::uint32_t tid;     ///< small per-thread id (obs::Tracer::current_tid)
+  double ts_us;          ///< start, microseconds since process trace epoch
+  double dur_us;         ///< duration in microseconds
+};
+
+/// Per-request span sink: when a request arrives with `"trace":true`,
+/// the daemon installs a SpanCapture in the thread context
+/// (obs/scope.hpp) and every `obs::Span` closed while it is active
+/// records here. Mutex-protected because a traced request may fan out
+/// across pool workers; it is constructed only for traced requests, so
+/// the untraced hot path never pays for it.
+class SpanCapture {
+ public:
+  /// Appends one completed span (thread-safe).
+  void record(const TraceEvent& event) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(event);
+  }
+
+  /// Copies out the recorded spans, in recording order per thread
+  /// (interleaving across threads is arrival order).
+  std::vector<TraceEvent> events() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Process-wide span collector behind `--trace-out`: disabled (one
+/// relaxed load per span) unless explicitly enabled, buffering per
+/// thread so recording never contends across threads. Buffers are owned
+/// by the tracer (not thread_local) so spans recorded by pool workers
+/// survive until `drain()` regardless of thread lifetime.
+class Tracer {
+ public:
+  /// The process-wide tracer used by `obs::Span` when enabled.
+  static Tracer& global();
+
+  /// Turns collection on/off (off by default; `mtd_daemon --trace-out`
+  /// turns it on at startup).
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// True when spans should record into the global tracer (one relaxed
+  /// load; the `Span` constructor checks this once).
+  static bool enabled() noexcept {
+    return global().enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends one completed span to the calling thread's buffer.
+  void record(const TraceEvent& event);
+
+  /// Moves out everything recorded so far, sorted by start timestamp;
+  /// buffers are left empty. Call after workers are quiesced (e.g. at
+  /// daemon shutdown) for a complete picture.
+  std::vector<TraceEvent> drain();
+
+  /// Small dense id for the calling thread (0, 1, 2, ... in first-use
+  /// order) — used as the Chrome trace `tid`.
+  static std::uint32_t current_tid();
+
+  /// Microseconds since the process trace epoch (steady clock).
+  static double now_us();
+
+ private:
+  struct Buffer {
+    std::mutex mutex;
+    std::vector<TraceEvent> events;
+  };
+
+  Buffer& thread_buffer();
+
+  std::atomic<bool> enabled_{false};
+  std::mutex buffers_mutex_;  // guards the buffer list, not the buffers
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+/// Writes `events` as Chrome `trace_event` JSON (the
+/// `{"traceEvents":[...]}` object form) — loadable in Perfetto or
+/// chrome://tracing. All events use phase `"X"` (complete) and pid 1.
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events);
+
+}  // namespace mtdgrid::obs

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
+
+#include "obs/scope.hpp"
 
 namespace mtdgrid::opf {
 
@@ -101,6 +104,21 @@ LpStatus iterate(Tableau& tab, std::vector<std::size_t>& basis,
   bool bland = false;
   int stalled = 0;
   double last_objective = tab.cost_rhs();
+  // Pivot tallies, accumulated locally and flushed as two atomic adds on
+  // every exit path (optimal/unbounded/iteration limit).
+  std::uint64_t pivots = 0;
+  std::uint64_t bland_pivots = 0;
+  struct PivotFlush {
+    bool phase_one;
+    const std::uint64_t& pivots;
+    const std::uint64_t& bland_pivots;
+    ~PivotFlush() {
+      obs::add(phase_one ? obs::Work::kSimplexPhase1Iterations
+                         : obs::Work::kSimplexPhase2Iterations,
+               pivots);
+      obs::add(obs::Work::kSimplexBlandPivots, bland_pivots);
+    }
+  } flush{phase_one, pivots, bland_pivots};
   for (std::size_t iter = 0; iter < kMaxIterations; ++iter) {
     std::size_t entering = tab.cols();
     if (bland) {
@@ -183,6 +201,8 @@ LpStatus iterate(Tableau& tab, std::vector<std::size_t>& basis,
 
     tab.pivot(leaving, entering);
     basis[leaving] = entering;
+    ++pivots;
+    if (bland) ++bland_pivots;
 
     if (!bland) {
       const double objective = tab.cost_rhs();
@@ -213,6 +233,8 @@ void LinearProgram::validate() const {
 }
 
 LpSolution solve_linear_program(const LinearProgram& lp) {
+  obs::add(obs::Work::kSimplexSolves);
+  obs::Span span("opf.simplex", "opf");
   lp.validate();
   const std::size_t n = lp.num_variables();
   const std::size_t m_eq = lp.eq_matrix.rows();

@@ -8,6 +8,9 @@
 
 #include "estimation/detection.hpp"
 #include "io/case_registry.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/scope.hpp"
+#include "obs/trace.hpp"
 
 namespace mtdgrid::serve {
 
@@ -21,14 +24,19 @@ namespace {
 constexpr std::uint64_t kProbeStreamTag = 0x70726f6265ULL;    // "probe"
 constexpr std::uint64_t kDetectStreamTag = 0x646574656374ULL; // "detect"
 
-// Latency histogram bucket upper bounds, microseconds.
-constexpr double kLatencyBucketsUs[5] = {100.0, 1e3, 1e4, 1e5, 1e6};
-
 Json vector_json(const linalg::Vector& v) {
   Json arr{Json::Array{}};
   for (std::size_t i = 0; i < v.size(); ++i) arr.push_back(Json(v[i]));
   return arr;
 }
+
+// Per-name span aggregate for the "trace_us" reply section.
+struct TraceAgg {
+  const char* name;
+  const char* category;
+  std::size_t count;
+  double total_us;
+};
 
 }  // namespace
 
@@ -50,7 +58,14 @@ MtdDaemon::MtdDaemon(grid::PowerSystem sys, grid::DailyLoadTrace trace,
                      DaemonOptions options)
     : options_(std::move(options)),
       case_name_(sys.name()),
-      engine_(std::move(sys), std::move(trace), options_.daily),
+      // Guaranteed copy elision constructs the engine in place while the
+      // lambda's registry scope is active, so the pass-1 baseline's work
+      // (one OPF solve per trace hour) is attributed to this shard.
+      engine_([&]() -> mtd::DailyEngine {
+        obs::ScopedRegistry obs_scope(&registry_);
+        return mtd::DailyEngine(std::move(sys), std::move(trace),
+                                options_.daily);
+      }()),
       rng_(options_.seed),
       probe_root_(stats::stream_seed(options_.seed, kProbeStreamTag)),
       detect_root_(stats::stream_seed(options_.seed, kDetectStreamTag)) {
@@ -93,6 +108,11 @@ std::size_t MtdDaemon::tick(ExecLock& lock) {
 }
 
 std::size_t MtdDaemon::tick_locked() {
+  // Direct `tick()` callers (construction, the fleet's broadcast tick,
+  // the re-keying scheduler) arrive without a request scope; requests
+  // re-scoping to the same registry is a harmless no-op.
+  obs::ScopedRegistry obs_scope(&registry_);
+  obs::Span span("serve.tick", "serve");
   mtd::DailyHourOutcome outcome = engine_.advance_hour(rng_);
 
   auto snap = std::make_shared<HourKeySnapshot>();
@@ -188,14 +208,59 @@ std::string MtdDaemon::handle_line(const std::string& line) {
 std::string MtdDaemon::serve_request(const Request& req) {
   const auto t0 = std::chrono::steady_clock::now();
   counters_.requests.fetch_add(1, std::memory_order_relaxed);
-  std::string reply;
-  if (needs_exec_lock(req)) {
-    std::lock_guard<std::mutex> exec_lock(exec_mutex_);
-    reply = handle_request(req);
-  } else {
+  const auto run = [&]() -> std::string {
+    if (needs_exec_lock(req)) {
+      std::lock_guard<std::mutex> exec_lock(exec_mutex_);
+      return handle_request(req);
+    }
     // Lock-free read path: answers entirely off the atomically loaded
     // snapshot window, even while a tick holds the write lock.
-    reply = handle_request(req);
+    return handle_request(req);
+  };
+  std::string reply;
+  if (req.trace) {
+    // Opt-in span capture: the mutex-guarded sink is constructed only
+    // here, so untraced requests never pay for it. The spans carry wall
+    // clock, so the section is opt-in exactly like "latency".
+    obs::SpanCapture capture;
+    {
+      obs::ScopedContext obs_scope({&registry_, &capture});
+      obs::Span span(verb_name(req.verb), "serve");
+      reply = run();
+    }
+    // Splice the aggregated spans into the reply object (error replies
+    // are objects too, so popping the closing brace is always valid).
+    if (!reply.empty() && reply.back() == '}') {
+      Json spans{Json::Array{}};
+      // Aggregate by span name in first-seen order: stable, compact, and
+      // independent of cross-thread interleaving in everything but the
+      // wall-clock fields.
+      std::vector<TraceAgg> agg;
+      for (const obs::TraceEvent& e : capture.events()) {
+        TraceAgg* slot = nullptr;
+        for (TraceAgg& a : agg)
+          if (a.name == e.name) slot = &a;
+        if (slot == nullptr) {
+          agg.push_back({e.name, e.category, 0, 0.0});
+          slot = &agg.back();
+        }
+        ++slot->count;
+        slot->total_us += e.dur_us;
+      }
+      for (const TraceAgg& a : agg) {
+        Json entry;
+        entry.set("name", Json(std::string(a.name)));
+        entry.set("cat", Json(std::string(a.category)));
+        entry.set("count", Json(a.count));
+        entry.set("total_us", Json(a.total_us));
+        spans.push_back(std::move(entry));
+      }
+      reply.pop_back();
+      reply += ",\"trace_us\":" + spans.dump() + "}";
+    }
+  } else {
+    obs::ScopedRegistry obs_scope(&registry_);
+    reply = run();
   }
   const auto t1 = std::chrono::steady_clock::now();
   record_latency(
@@ -389,6 +454,43 @@ std::string MtdDaemon::reply_metrics(const Request& req) {
   const double lat_max = latency_max_us_.load(std::memory_order_relaxed);
   for (int i = 0; i < 6; ++i)
     buckets[i] = latency_buckets_[i].load(std::memory_order_relaxed);
+  const obs::WorkSnapshot work = registry_.work_snapshot();
+
+  if (req.prometheus_format) {
+    // Prometheus text exposition, carried as a JSON string field so the
+    // transport stays line-based. It includes the wall-clock latency
+    // histogram and the structural pool counters, so (like "latency")
+    // this form never appears in byte-diffed transcripts.
+    obs::PrometheusBuilder b;
+    b.counter("mtdgrid_requests_total",
+              "Request lines handled (including errors)", c.requests);
+    b.counter("mtdgrid_errors_total", "Error replies sent", c.errors);
+    b.counter("mtdgrid_ticks_total", "Re-keying steps (manual + scheduled)",
+              c.ticks);
+    b.counter_family("mtdgrid_verb_requests_total",
+                     "Requests served successfully, by verb",
+                     {{{{"verb", "dispatch"}}, c.dispatch},
+                      {{{"verb", "detect"}}, c.detect},
+                      {{{"verb", "probe"}}, c.probe},
+                      {{{"verb", "status"}}, c.status},
+                      {{{"verb", "metrics"}}, c.metrics}});
+    obs::render_work_counters(b, work);
+    b.gauge("mtdgrid_current_hour", "Current virtual-clock hour",
+            static_cast<double>(window()->back()->hour));
+    b.histogram("mtdgrid_request_latency_seconds",
+                "Service time of handled request lines",
+                {1e-4, 1e-3, 1e-2, 1e-1, 1.0},
+                std::vector<std::uint64_t>(buckets, buckets + 6), lat_count,
+                lat_sum / 1e6);
+    Json reply;
+    reply.set("ok", Json(true));
+    reply.set("op", Json("metrics"));
+    if (req.has_id) reply.set("id", Json(req.id));
+    reply.set("format", Json("prometheus"));
+    reply.set("prometheus", Json(b.text()));
+    return reply.dump();
+  }
+
   Json reply;
   reply.set("ok", Json(true));
   reply.set("op", Json("metrics"));
@@ -401,6 +503,17 @@ std::string MtdDaemon::reply_metrics(const Request& req) {
   reply.set("probe", Json(c.probe));
   reply.set("status", Json(c.status));
   reply.set("metrics", Json(c.metrics));
+  // Engine work counters, deterministic ones only (obs::work_info): for
+  // a fixed transcript these are pure functions of (seed, inputs), so
+  // default metrics replies stay byte-identical across thread counts —
+  // CI diffs them at --threads 1 vs 8. The structural pool counters are
+  // exported via the Prometheus form instead.
+  Json engine;
+  for (std::size_t i = 0; i < obs::kWorkCount; ++i) {
+    const obs::WorkInfo& info = obs::work_info(static_cast<obs::Work>(i));
+    if (info.deterministic) engine.set(info.name, Json(work[i]));
+  }
+  reply.set("engine", std::move(engine));
   if (req.include_latency) {
     // The one non-deterministic reply section, opt-in so that default
     // metrics replies stay byte-comparable across runs and thread counts.
@@ -453,14 +566,8 @@ void MtdDaemon::record_latency(double micros) {
          !latency_max_us_.compare_exchange_weak(prev, micros,
                                                 std::memory_order_relaxed)) {
   }
-  int bucket = 5;
-  for (int i = 0; i < 5; ++i) {
-    if (micros <= kLatencyBucketsUs[i]) {
-      bucket = i;
-      break;
-    }
-  }
-  latency_buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  latency_buckets_[latency_bucket_index(micros)].fetch_add(
+      1, std::memory_order_relaxed);
 }
 
 }  // namespace mtdgrid::serve

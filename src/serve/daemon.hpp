@@ -13,11 +13,26 @@
 #include "grid/load_trace.hpp"
 #include "grid/power_system.hpp"
 #include "mtd/daily.hpp"
+#include "obs/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "serve/service.hpp"
 #include "stats/rng.hpp"
 
 namespace mtdgrid::serve {
+
+/// Latency histogram bucket upper bounds (microseconds, inclusive per
+/// the `micros <=` scan in `MtdDaemon::record_latency`): 100 µs, 1 ms,
+/// 10 ms, 100 ms, 1 s, plus an implicit overflow bucket.
+inline constexpr double kLatencyBucketsUs[5] = {100.0, 1e3, 1e4, 1e5, 1e6};
+
+/// The bucket index `record_latency` files `micros` under: the first i
+/// with `micros <= kLatencyBucketsUs[i]`, else 5 (the overflow bucket).
+/// A sample exactly on a bound lands in that bound's bucket.
+inline int latency_bucket_index(double micros) {
+  for (int i = 0; i < 5; ++i)
+    if (micros <= kLatencyBucketsUs[i]) return i;
+  return 5;
+}
 
 /// Options of the serving daemon. The embedded `daily` options carry the
 /// re-keying budgets and targets (sensor noise `sigma_mw` and BDD
@@ -173,6 +188,18 @@ class MtdDaemon : public LineService {
   /// The name of the served case (registry name, path, or system name).
   const std::string& case_name() const { return case_name_; }
 
+  /// This daemon's work-counter registry: every request (and the engine
+  /// construction) runs under an `obs::ScopedRegistry` pointing here, so
+  /// the engine's work counters are attributed per shard. The `metrics`
+  /// verb reports the deterministic counters from this registry; the
+  /// fleet sums shard registries (`ShardedDaemon::aggregate_work`).
+  const obs::MetricsRegistry& registry() const { return registry_; }
+
+  /// Records one handled-line service time into the latency accumulator
+  /// (relaxed atomics; bucket choice per `latency_bucket_index`). Public
+  /// so tests can inject exact samples and pin bucket counts.
+  void record_latency(double micros);
+
  private:
   /// The published retention window: oldest..newest retained snapshots.
   /// Immutable once published — a tick builds a fresh vector and swaps
@@ -213,10 +240,13 @@ class MtdDaemon : public LineService {
   /// reply).
   std::shared_ptr<const HourKeySnapshot> resolve_snapshot(
       const SnapshotWindow& window, const Request& req, std::string& error);
-  void record_latency(double micros);
 
   DaemonOptions options_;
   std::string case_name_;
+  /// Declared before `engine_`: the constructor scopes the engine's
+  /// pass-1 construction work to this registry, so it must be alive
+  /// first.
+  obs::MetricsRegistry registry_;
   mtd::DailyEngine engine_;
   stats::Rng rng_;                 // the engine's sequential rng
   std::uint64_t probe_root_ = 0;   // substream family of `probe`

@@ -133,6 +133,17 @@ ParseOutcome parse_request(const Json& doc) {
       return bad_request("\"latency\" must be a boolean");
     req.include_latency = latency->as_bool();
   }
+  if (const Json* trace = doc.find("trace"); trace != nullptr) {
+    if (!trace->is_bool())
+      return bad_request("\"trace\" must be a boolean");
+    req.trace = trace->as_bool();
+  }
+  if (const Json* format = doc.find("format"); format != nullptr) {
+    if (!format->is_string() || (format->as_string() != "json" &&
+                                 format->as_string() != "prometheus"))
+      return bad_request("\"format\" must be \"json\" or \"prometheus\"");
+    req.prometheus_format = format->as_string() == "prometheus";
+  }
   if (const Json* shard = doc.find("shard"); shard != nullptr) {
     std::uint64_t s = 0;
     if (!as_nonneg_integer(*shard, s))

@@ -44,7 +44,11 @@ enum class DetectMethod {
 /// (default: current); `z` is the measurement vector for `detect`
 /// (default: the hour's noiseless reference); `trials` sizes the
 /// Monte-Carlo method; `include_latency` asks `metrics` for the (non-
-/// deterministic) latency histogram; `shard`/`case_name` route the
+/// deterministic) latency histogram; `trace` opts the request into
+/// wall-clock span capture (reply gains a `trace_us` section — opt-in
+/// for the same reason as `latency`); `prometheus_format` asks
+/// `metrics` for the Prometheus text exposition instead of the JSON
+/// sections; `shard`/`case_name` route the
 /// request inside a `ShardedDaemon` fleet (a single `MtdDaemon` accepts
 /// and ignores them — it is the degenerate one-shard fleet).
 struct Request {
@@ -58,6 +62,8 @@ struct Request {
   DetectMethod method = DetectMethod::kBdd;  ///< detect scoring method
   int trials = 400;               ///< Monte-Carlo noise draws
   bool include_latency = false;   ///< metrics: include latency histogram
+  bool trace = false;             ///< capture wall-clock spans (opt-in)
+  bool prometheus_format = false; ///< metrics: Prometheus text exposition
   bool has_shard = false;         ///< true when the line carried "shard"
   std::size_t shard = 0;          ///< fleet shard index (routing)
   bool has_case = false;          ///< true when the line carried "case"

@@ -152,6 +152,15 @@ std::vector<std::size_t> ShardedDaemon::tick_all() {
   return hours;
 }
 
+obs::WorkSnapshot ShardedDaemon::aggregate_work() const {
+  obs::WorkSnapshot total{};
+  for (const auto& shard : shards_) {
+    const obs::WorkSnapshot w = shard->registry().work_snapshot();
+    for (std::size_t i = 0; i < obs::kWorkCount; ++i) total[i] += w[i];
+  }
+  return total;
+}
+
 void ShardedDaemon::request_shutdown() {
   shutdown_.store(true);
   for (const auto& shard : shards_) shard->request_shutdown();

@@ -88,6 +88,12 @@ class ShardedDaemon : public LineService {
   /// Const access to shard `k` (valid for k < num_shards()).
   const MtdDaemon& shard(std::size_t k) const { return *shards_[k]; }
 
+  /// Fleet-wide engine work: the per-counter sum of every shard's
+  /// registry (relaxed point-in-time loads, like every metrics read).
+  /// Deterministic counters sum to a pure function of the per-shard
+  /// transcripts, so the aggregate keeps their thread-count invariance.
+  obs::WorkSnapshot aggregate_work() const;
+
   /// Marks the fleet — and every shard — as shutting down.
   void request_shutdown();
 

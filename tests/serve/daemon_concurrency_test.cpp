@@ -148,5 +148,61 @@ TEST(ServeDaemonLockFreeReadTest, ReadsServePinnedSnapshotDuringTick) {
   EXPECT_EQ(daemon->current_hour(), 1u);
 }
 
+/// The latency accumulator's max is maintained by a CAS loop over
+/// relaxed atomics: hammer it from 8 recorder threads with disjoint
+/// value ranges and pin the exact count, max, and per-bucket totals.
+/// TSan (the `concurrency` CI leg) checks the loop is race-free.
+TEST(ServeDaemonLatencyRaceTest, ConcurrentRecordersKeepExactCountAndMax) {
+  const std::unique_ptr<MtdDaemon> daemon = test::make_fast_daemon();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> recorders;
+  recorders.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Thread t records 50 + t, 50 + t + 8, ...: every sample lands
+        // in le_100us except the global max, planted by thread 7.
+        const double sample =
+            (t == kThreads - 1 && i == kPerThread - 1)
+                ? 5e6
+                : 50.0 + static_cast<double>(t + kThreads * i) /
+                             static_cast<double>(kThreads * kPerThread);
+        daemon->record_latency(sample);
+      }
+    });
+  }
+  for (std::thread& r : recorders) r.join();
+  const Json reply = Json::parse(
+      daemon->handle_line(R"({"op":"metrics","latency":true})"));
+  const Json* latency = reply.find("latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->find("count")->as_number(), kThreads * kPerThread);
+  EXPECT_EQ(latency->find("max_us")->as_number(), 5e6);
+  const Json* buckets = latency->find("buckets");
+  EXPECT_EQ(buckets->find("le_100us")->as_number(),
+            kThreads * kPerThread - 1);
+  EXPECT_EQ(buckets->find("gt_1s")->as_number(), 1.0);
+}
+
+/// The tentpole acceptance at the daemon level: the deterministic engine
+/// work counters in the default metrics reply are byte-identical across
+/// thread counts. (The transcript test above already diffs the metrics
+/// reply; this pins the counters individually with names in failures.)
+TEST(ServeDaemonDeterminismTest, EngineWorkCountersMatchAcrossThreadCounts) {
+  const auto engine_counters = [](std::size_t threads) {
+    core::ThreadPool::set_global_num_threads(threads);
+    const std::unique_ptr<MtdDaemon> daemon = test::make_fast_daemon();
+    daemon->handle_line(R"({"op":"detect","id":1,"method":"mc","trials":80})");
+    daemon->handle_line(R"({"op":"tick"})");
+    daemon->handle_line(R"({"op":"dispatch"})");
+    return daemon->handle_line(R"({"op":"metrics"})");
+  };
+  const std::string t1 = engine_counters(1);
+  const std::string t8 = engine_counters(8);
+  core::ThreadPool::set_global_num_threads(0);
+  EXPECT_EQ(t1, t8);
+}
+
 }  // namespace
 }  // namespace mtdgrid::serve

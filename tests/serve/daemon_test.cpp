@@ -9,6 +9,7 @@
 
 #include "grid/cases.hpp"
 #include "grid/load_trace.hpp"
+#include "obs/metrics.hpp"
 #include "serve/json.hpp"
 #include "serve_test_util.hpp"
 
@@ -79,6 +80,10 @@ TEST_F(ServeDaemonTest, MalformedLinesGetPinnedRepliesAndSessionSurvives) {
        R"x({"ok":false,"error":"bad-request","message":"\"trials\" must be an integer in [1, 1000000]"})x"},
       {R"({"op":"metrics","latency":1})",
        R"x({"ok":false,"error":"bad-request","message":"\"latency\" must be a boolean"})x"},
+      {R"({"op":"detect","trace":1})",
+       R"x({"ok":false,"error":"bad-request","message":"\"trace\" must be a boolean"})x"},
+      {R"({"op":"metrics","format":"xml"})",
+       R"x({"ok":false,"error":"bad-request","message":"\"format\" must be \"json\" or \"prometheus\""})x"},
   };
   for (const auto& [line, want] : cases)
     EXPECT_EQ(daemon_->handle_line(line), want) << line;
@@ -176,6 +181,138 @@ TEST_F(ServeDaemonTest, MetricsCountsRequestsDeterministically) {
   EXPECT_GT(latency->find("count")->as_number(), 0.0);
   EXPECT_GT(latency->find("max_us")->as_number(), 0.0);
   EXPECT_NE(latency->find("buckets"), nullptr);
+}
+
+TEST_F(ServeDaemonTest, DefaultMetricsCarryDeterministicEngineCounters) {
+  // Drive known engine work first so the counters are visibly non-zero.
+  daemon_->handle_line(R"({"op":"detect","id":1,"method":"mc","trials":50})");
+  const Json reply = Json::parse(daemon_->handle_line(R"({"op":"metrics"})"));
+  const Json* engine = reply.find("engine");
+  ASSERT_NE(engine, nullptr);
+  // Every deterministic work counter appears, by its obs name ...
+  for (std::size_t i = 0; i < obs::kWorkCount; ++i) {
+    const obs::WorkInfo& info = obs::work_info(static_cast<obs::Work>(i));
+    if (info.deterministic)
+      ASSERT_NE(engine->find(info.name), nullptr) << info.name;
+    else
+      EXPECT_EQ(engine->find(info.name), nullptr) << info.name;
+  }
+  // ... and the instrumented hot paths actually flowed into them: the
+  // construction pass keys a day (LP dispatches), and the MC detect
+  // above contributes its exact trial count.
+  EXPECT_GT(engine->find("simplex_solves")->as_number(), 0.0);
+  EXPECT_GT(engine->find("simplex_phase2_iterations")->as_number(), 0.0);
+  EXPECT_GT(engine->find("engine_hours")->as_number(), 0.0);
+  EXPECT_GE(engine->find("mc_trials")->as_number(), 50.0);
+}
+
+TEST_F(ServeDaemonTest, PrometheusFormatExposesWorkAndLatencySeries) {
+  const Json reply = Json::parse(
+      daemon_->handle_line(R"({"op":"metrics","format":"prometheus"})"));
+  EXPECT_TRUE(reply.find("ok")->as_bool());
+  EXPECT_EQ(reply.find("format")->as_string(), "prometheus");
+  const Json* text_field = reply.find("prometheus");
+  ASSERT_NE(text_field, nullptr);
+  const std::string& text = text_field->as_string();
+  EXPECT_NE(text.find("# TYPE mtdgrid_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("mtdgrid_verb_requests_total{verb=\"detect\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE mtdgrid_current_hour gauge"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("mtdgrid_request_latency_seconds_bucket{le=\"+Inf\"}"),
+      std::string::npos);
+  // The Prometheus form carries ALL work counters, structural pool
+  // counters included (they are fine for dashboards, just not for
+  // byte-diffed transcripts).
+  for (std::size_t i = 0; i < obs::kWorkCount; ++i) {
+    const std::string series =
+        std::string("mtdgrid_work_") +
+        obs::work_info(static_cast<obs::Work>(i)).name + "_total";
+    EXPECT_NE(text.find(series), std::string::npos) << series;
+  }
+  // An explicit "json" format is the default form, not an error.
+  const Json json_form = Json::parse(
+      daemon_->handle_line(R"({"op":"metrics","format":"json"})"));
+  EXPECT_TRUE(json_form.find("ok")->as_bool());
+  EXPECT_EQ(json_form.find("prometheus"), nullptr);
+  ASSERT_NE(json_form.find("engine"), nullptr);
+}
+
+TEST_F(ServeDaemonTest, TraceOptInSplicesAggregatedSpans) {
+  // Default replies carry no trace section (wall-clock data would break
+  // transcript byte-diffs).
+  const std::string plain = daemon_->handle_line(R"({"op":"dispatch"})");
+  EXPECT_EQ(plain.find("trace_us"), std::string::npos);
+
+  const Json traced = Json::parse(
+      daemon_->handle_line(R"({"op":"dispatch","id":3,"trace":true})"));
+  EXPECT_TRUE(traced.find("ok")->as_bool());
+  const Json* spans = traced.find("trace_us");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_TRUE(spans->is_array());
+  // The request-level span is always present and aggregated once.
+  ASSERT_FALSE(spans->as_array().empty());
+  const Json& top = spans->as_array()[0];
+  EXPECT_EQ(top.find("name")->as_string(), "dispatch");
+  EXPECT_EQ(top.find("cat")->as_string(), "serve");
+  EXPECT_EQ(top.find("count")->as_number(), 1.0);
+  EXPECT_GE(top.find("total_us")->as_number(), 0.0);
+
+  // Apart from the spliced trace section, the reply matches the untraced
+  // one byte for byte (same snapshot, same deterministic payload).
+  const Json untraced =
+      Json::parse(daemon_->handle_line(R"({"op":"dispatch","id":3})"));
+  EXPECT_EQ(untraced.find("cost")->as_number(),
+            traced.find("cost")->as_number());
+
+  // A traced MC detect fans out through the engine: the simplex/MC spans
+  // recorded on pool workers land in the same aggregation.
+  const Json mc = Json::parse(daemon_->handle_line(
+      R"({"op":"detect","id":4,"method":"mc","trials":30,"trace":true})"));
+  const Json* mc_spans = mc.find("trace_us");
+  ASSERT_NE(mc_spans, nullptr);
+  bool saw_mc = false;
+  for (const Json& s : mc_spans->as_array())
+    if (s.find("name")->as_string() == "estimation.mc_detect") saw_mc = true;
+  EXPECT_TRUE(saw_mc);
+}
+
+TEST(ServeDaemonLatencyTest, BucketIndexPinsInclusiveBoundaries) {
+  // A sample exactly on kLatencyBucketsUs[i] files under bucket i.
+  EXPECT_EQ(latency_bucket_index(0.0), 0);
+  EXPECT_EQ(latency_bucket_index(100.0), 0);
+  EXPECT_EQ(latency_bucket_index(100.0000001), 1);
+  EXPECT_EQ(latency_bucket_index(1e3), 1);
+  EXPECT_EQ(latency_bucket_index(1e4), 2);
+  EXPECT_EQ(latency_bucket_index(1e5), 3);
+  EXPECT_EQ(latency_bucket_index(1e6), 4);
+  EXPECT_EQ(latency_bucket_index(1e6 + 1.0), 5);
+}
+
+TEST(ServeDaemonLatencyTest, InjectedSamplesPinExactBucketCounts) {
+  // A fresh daemon records no latency during construction, so injected
+  // samples are the whole accumulator; the metrics reply reads the
+  // state BEFORE recording its own service time, so the first metrics
+  // call sees exactly the injection.
+  const std::unique_ptr<MtdDaemon> daemon = test::make_fast_daemon();
+  const double samples[] = {50.0, 100.0, 100.5, 1e3, 1e4, 1e5, 1e6, 2e6};
+  for (const double s : samples) daemon->record_latency(s);
+  const Json reply = Json::parse(
+      daemon->handle_line(R"({"op":"metrics","latency":true})"));
+  const Json* latency = reply.find("latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->find("count")->as_number(), 8.0);
+  EXPECT_EQ(latency->find("max_us")->as_number(), 2e6);
+  const Json* buckets = latency->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  EXPECT_EQ(buckets->find("le_100us")->as_number(), 2.0);  // 50, 100
+  EXPECT_EQ(buckets->find("le_1ms")->as_number(), 2.0);    // 100.5, 1e3
+  EXPECT_EQ(buckets->find("le_10ms")->as_number(), 1.0);   // 1e4
+  EXPECT_EQ(buckets->find("le_100ms")->as_number(), 1.0);  // 1e5
+  EXPECT_EQ(buckets->find("le_1s")->as_number(), 1.0);     // 1e6
+  EXPECT_EQ(buckets->find("gt_1s")->as_number(), 1.0);     // 2e6
 }
 
 TEST(ServeDaemonLifecycleTest, TickRetainsHistoryAndPinsHours) {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/json.hpp"
 #include "serve_test_util.hpp"
 
@@ -183,6 +184,33 @@ TEST(ShardedDaemonStandaloneTest, BareDaemonIgnoresRoutingFields) {
             daemon->handle_line(R"({"op":"dispatch","id":3})"));
   EXPECT_EQ(daemon->handle_line(R"({"op":"dispatch","id":3,"case":"x"})"),
             daemon->handle_line(R"({"op":"dispatch","id":3})"));
+}
+
+TEST_F(ShardedDaemonTest, AggregateWorkSumsShardRegistries) {
+  // Drive counted work onto a specific shard, then check the fleet
+  // aggregate is exactly the element-wise sum of the shard registries.
+  fleet_->handle_line(
+      R"({"op":"detect","id":9,"method":"mc","trials":60,"shard":1})");
+  obs::WorkSnapshot expected{};
+  for (const std::size_t k : {std::size_t{0}, std::size_t{1}}) {
+    const obs::WorkSnapshot w = fleet_->shard(k).registry().work_snapshot();
+    for (std::size_t i = 0; i < obs::kWorkCount; ++i) expected[i] += w[i];
+  }
+  const obs::WorkSnapshot total = fleet_->aggregate_work();
+  for (std::size_t i = 0; i < obs::kWorkCount; ++i)
+    EXPECT_EQ(total[i], expected[i])
+        << obs::work_info(static_cast<obs::Work>(i)).name;
+  // Both shards keyed a pass-1 day at construction, so per-shard work is
+  // non-zero and the aggregate strictly dominates either shard alone.
+  const std::size_t hours =
+      static_cast<std::size_t>(obs::Work::kEngineHours);
+  EXPECT_GT(fleet_->shard(0).registry().work_snapshot()[hours], 0u);
+  EXPECT_EQ(total[hours],
+            fleet_->shard(0).registry().work_snapshot()[hours] +
+                fleet_->shard(1).registry().work_snapshot()[hours]);
+  // The MC trials driven above landed on shard 1's registry, not 0's.
+  const std::size_t mc = static_cast<std::size_t>(obs::Work::kMcTrials);
+  EXPECT_GE(fleet_->shard(1).registry().work_snapshot()[mc], 60u);
 }
 
 TEST(ShardedDaemonStandaloneTest, ConstructorRejectsEmptyFleet) {

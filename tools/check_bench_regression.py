@@ -3,10 +3,15 @@
 
 Subcommands:
 
-  merge  OUT IN1 [IN2 ...] [--only REGEX]
+  merge  OUT IN1 [IN2 ...] [--only REGEX] [--preserve FILE]
       Combine the "benchmarks" arrays of several --benchmark_format=json
       outputs into one file (optionally keeping only names matching REGEX).
       Context from the first input is preserved.
+      With --preserve, rows from FILE (typically the previous baseline,
+      which may be OUT itself — it is read before OUT is written) whose
+      names are absent from the merged inputs are carried over unchanged.
+      This makes partial regeneration safe: benchmarks you did not re-run
+      stay guarded instead of silently dropping out of the baseline.
 
   check  --baseline FILE --current FILE [--max-regression 0.20]
          [--normalize-by NAME] [--min-speedup SLOW:FAST:RATIO ...]
@@ -49,6 +54,13 @@ def load_benchmarks(path):
 
 
 def cmd_merge(args):
+    # Read the preserve file FIRST: it is usually the baseline being
+    # overwritten (OUT), so it must be loaded before OUT is rewritten.
+    preserved_pool = []
+    if args.preserve:
+        data, _ = load_benchmarks(args.preserve)
+        preserved_pool = data.get("benchmarks", [])
+
     merged = None
     benchmarks = []
     seen = set()
@@ -67,11 +79,16 @@ def cmd_merge(args):
     if merged is None:
         print("merge: no inputs", file=sys.stderr)
         return 1
-    merged["benchmarks"] = benchmarks
+    preserved = [b for b in preserved_pool if b["name"] not in seen]
+    for b in preserved:
+        print(f"merge: preserved '{b['name']}' from {args.preserve} "
+              "(not in the merged inputs)")
+    merged["benchmarks"] = benchmarks + preserved
     with open(args.out, "w") as fh:
         json.dump(merged, fh, indent=2)
         fh.write("\n")
-    print(f"merge: wrote {len(benchmarks)} benchmarks to {args.out}")
+    print(f"merge: wrote {len(benchmarks)} merged + {len(preserved)} "
+          f"preserved benchmarks to {args.out}")
     return 0
 
 
@@ -170,6 +187,9 @@ def main():
     p_merge.add_argument("out")
     p_merge.add_argument("inputs", nargs="+")
     p_merge.add_argument("--only", help="keep only names matching this regex")
+    p_merge.add_argument("--preserve", metavar="FILE",
+                         help="carry over rows from FILE (read before OUT "
+                              "is written) that the inputs did not re-run")
     p_merge.set_defaults(func=cmd_merge)
 
     p_check = sub.add_parser("check")

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Validate the daemon's Prometheus text exposition from a client transcript.
+
+Reads mtd_daemon --client reply lines on stdin, finds the first reply
+carrying a "prometheus" field (the `{"op":"metrics","format":"prometheus"}`
+reply), and checks the embedded exposition text:
+
+  * every line is a comment (# HELP / # TYPE) or a `name[{labels}] value`
+    sample with a valid metric name and a parseable value;
+  * every sample's metric family has a preceding # TYPE line;
+  * the required serving series are present: request counters, every
+    mtdgrid_work_* engine counter, the current-hour gauge, and the
+    request-latency histogram;
+  * histogram bucket counts are cumulative (monotone in le order) and the
+    +Inf bucket equals the _count series.
+
+Exit 0 when the exposition is well-formed, 1 otherwise. Used by the CI
+observability smoke step.
+"""
+
+import json
+import re
+import sys
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? "
+    r"(?P<value>[^ ]+)$")
+_COMMENT_RE = re.compile(
+    r"^# (?P<kind>HELP|TYPE) (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) .+$")
+
+REQUIRED_SERIES = [
+    "mtdgrid_requests_total",
+    "mtdgrid_errors_total",
+    "mtdgrid_ticks_total",
+    "mtdgrid_verb_requests_total",
+    "mtdgrid_current_hour",
+    "mtdgrid_request_latency_seconds_bucket",
+    "mtdgrid_request_latency_seconds_sum",
+    "mtdgrid_request_latency_seconds_count",
+]
+
+
+def find_exposition(stream):
+    for line in stream:
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(doc, dict) and "prometheus" in doc:
+            return doc["prometheus"]
+    return None
+
+
+def family_of(sample_name):
+    """The metric family a sample belongs to (strips histogram suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)  # raises ValueError on garbage
+
+
+def check(text):
+    errors = []
+    typed = set()
+    samples = []  # (name, labels_text, value)
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            errors.append(f"line {lineno}: empty line inside exposition")
+            continue
+        comment = _COMMENT_RE.match(line)
+        if comment:
+            if comment.group("kind") == "TYPE":
+                typed.add(comment.group("name"))
+            continue
+        if line.startswith("#"):
+            errors.append(f"line {lineno}: malformed comment: {line!r}")
+            continue
+        sample = _SAMPLE_RE.match(line)
+        if not sample:
+            errors.append(f"line {lineno}: malformed sample: {line!r}")
+            continue
+        try:
+            value = parse_value(sample.group("value"))
+        except ValueError:
+            errors.append(f"line {lineno}: bad value: {line!r}")
+            continue
+        samples.append((sample.group("name"), sample.group("labels") or "",
+                        value))
+
+    names = {name for name, _, _ in samples}
+    for name, _, _ in samples:
+        if family_of(name) not in typed:
+            errors.append(f"sample '{name}' has no # TYPE header")
+    for required in REQUIRED_SERIES:
+        if required not in names:
+            errors.append(f"required series '{required}' missing")
+
+    # Every engine work counter must be exported (the daemon renders the
+    # full obs table, structural pool counters included).
+    work = sorted(n for n in names
+                  if n.startswith("mtdgrid_work_") and n.endswith("_total"))
+    if not work:
+        errors.append("no mtdgrid_work_*_total engine counters found")
+    else:
+        print(f"check_prometheus: {len(work)} engine work counters: "
+              + ", ".join(w[len("mtdgrid_work_"):-len("_total")]
+                          for w in work))
+
+    # Histogram shape: cumulative buckets, +Inf == _count.
+    buckets = []
+    for name, labels, value in samples:
+        if name != "mtdgrid_request_latency_seconds_bucket":
+            continue
+        le = re.search(r'le="([^"]+)"', labels)
+        if not le:
+            errors.append(f"bucket sample without le label: {labels!r}")
+            continue
+        buckets.append((parse_value(le.group(1)), value))
+    if buckets:
+        ordered = sorted(buckets)
+        if [b for _, b in ordered] != sorted(b for _, b in ordered):
+            errors.append(f"bucket counts not cumulative: {ordered}")
+        if ordered[-1][0] != float("inf"):
+            errors.append("last histogram bucket is not +Inf")
+        count = next((v for n, _, v in samples
+                      if n == "mtdgrid_request_latency_seconds_count"), None)
+        if count is not None and ordered[-1][1] != count:
+            errors.append(
+                f"+Inf bucket {ordered[-1][1]} != _count {count}")
+
+    return errors
+
+
+def main():
+    text = find_exposition(sys.stdin)
+    if text is None:
+        print("check_prometheus: no reply with a \"prometheus\" field on "
+              "stdin", file=sys.stderr)
+        return 1
+    errors = check(text)
+    if errors:
+        print("Prometheus exposition check FAILED:", file=sys.stderr)
+        for e in errors:
+            print(f"  - {e}", file=sys.stderr)
+        return 1
+    print("Prometheus exposition check passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,11 +13,13 @@
 #include "estimation/detection.hpp"
 #include "estimation/state_estimator.hpp"
 #include "grid/cases.hpp"
+#include "grid/compose.hpp"
 #include "grid/measurement.hpp"
 #include "grid/power_flow.hpp"
 #include "linalg/subspace.hpp"
 #include "linalg/svd.hpp"
 #include "mtd/spa.hpp"
+#include "mtd/zone_selection.hpp"
 #include "opf/dc_opf.hpp"
 #include "stats/rng.hpp"
 
@@ -107,11 +109,28 @@ BENCHMARK(BM_WlsEstimate);
 // Dense vs sparse storage policy on the full state-estimation path
 // (estimator construction = Gram + factorization, then one estimate),
 // the work the daily engine redoes at every re-key. range(0): 0 =
-// case118, 1 = case300. The CI perf gate asserts the sparse case300
-// variant beats the dense one by >= 3x.
+// case118, 1 = case300, 2 = the composed case118x3 tile (the same
+// artifact shape CI's composed-case gate audits). The CI perf gate
+// asserts the sparse case300 variant beats the dense one by >= 3x.
+grid::PowerSystem se_system_for(int id) {
+  switch (id) {
+    case 0: return grid::make_case118();
+    case 1: return grid::make_case300();
+    default: {
+      grid::ComposeOptions opt;
+      opt.copies = 3;
+      return grid::compose_cases(grid::make_case118(), opt).system;
+    }
+  }
+}
+
+const char* se_system_name(int id) {
+  return id == 0 ? "case118" : id == 1 ? "case300" : "case118x3";
+}
+
 void BM_SparseVsDenseStateEstimationDense(benchmark::State& state) {
-  const grid::PowerSystem sys = state.range(0) == 0 ? grid::make_case118()
-                                                    : grid::make_case300();
+  const grid::PowerSystem sys =
+      se_system_for(static_cast<int>(state.range(0)));
   const linalg::Matrix h = grid::measurement_matrix(sys);
   stats::Rng rng(5);
   linalg::Vector z(h.rows());
@@ -120,15 +139,15 @@ void BM_SparseVsDenseStateEstimationDense(benchmark::State& state) {
     const estimation::StateEstimator est(h, 1.0);
     benchmark::DoNotOptimize(est.estimate(z));
   }
-  state.SetLabel(state.range(0) == 0 ? "case118" : "case300");
+  state.SetLabel(se_system_name(static_cast<int>(state.range(0))));
 }
 BENCHMARK(BM_SparseVsDenseStateEstimationDense)
-    ->DenseRange(0, 1)
+    ->DenseRange(0, 2)
     ->Unit(benchmark::kMillisecond);
 
 void BM_SparseVsDenseStateEstimationSparse(benchmark::State& state) {
-  const grid::PowerSystem sys = state.range(0) == 0 ? grid::make_case118()
-                                                    : grid::make_case300();
+  const grid::PowerSystem sys =
+      se_system_for(static_cast<int>(state.range(0)));
   const linalg::SparseMatrix h = grid::sparse_measurement_matrix(sys);
   stats::Rng rng(5);
   linalg::Vector z(h.rows());
@@ -137,10 +156,10 @@ void BM_SparseVsDenseStateEstimationSparse(benchmark::State& state) {
     const estimation::StateEstimator est(h, 1.0);
     benchmark::DoNotOptimize(est.estimate(z));
   }
-  state.SetLabel(state.range(0) == 0 ? "case118" : "case300");
+  state.SetLabel(se_system_name(static_cast<int>(state.range(0))));
 }
 BENCHMARK(BM_SparseVsDenseStateEstimationSparse)
-    ->DenseRange(0, 1)
+    ->DenseRange(0, 2)
     ->Unit(benchmark::kMillisecond);
 
 void BM_ResidualNorm(benchmark::State& state) {
@@ -273,6 +292,33 @@ void BM_Case118SelectionLoopFast(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kSelectionSweep);
 }
 BENCHMARK(BM_Case118SelectionLoopFast)->Unit(benchmark::kMillisecond);
+
+void BM_ZoneSelectionCase118x9(benchmark::State& state) {
+  // End-to-end zone-decomposed D-FACTS selection on the 1062-bus
+  // composed mega-grid: 9 per-zone selections (118-bus-sized dense
+  // solves) plus the full-model sparse SPA boundary recheck — the
+  // workload that is intractable for the monolithic dense path. Same
+  // tiny budget as the slow-tier test; one iteration is ~20 s, so the
+  // benchmark pins Iterations(1) and CI guards the normalized time.
+  grid::ComposeOptions copt;
+  copt.copies = 9;
+  const grid::ComposeResult composed =
+      grid::compose_cases(grid::make_case118(), copt);
+  const grid::ZonePartition partition = composed.zones();
+  mtd::ZoneSelectionOptions opt;
+  opt.selection.gamma_threshold = 0.01;
+  opt.selection.extra_starts = 0;
+  opt.selection.search.max_evaluations = 20;
+  opt.max_rounds = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mtd::select_mtd_zones(composed.system, partition, opt, 118900));
+  }
+  state.SetLabel("case118x9/9-zones");
+}
+BENCHMARK(BM_ZoneSelectionCase118x9)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
 
 void BM_SpaIncremental(benchmark::State& state) {
   const grid::PowerSystem sys = system_for(static_cast<int>(state.range(0)));

@@ -4,9 +4,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "grid/cases.hpp"
+#include "grid/compose.hpp"
 #include "io/matpower.hpp"
 
 #ifndef MTDGRID_DATA_DIR
@@ -37,6 +39,31 @@ std::string read_file(const std::string& path) {
   return buf.str();
 }
 
+// Composed-case grammar "<base>x<N>": base case name (or alias) followed
+// by a literal 'x' and a copy count >= 2, e.g. "case118x9". Returns the
+// (base, copies) split when the name has that shape; whether `base` names
+// a registered case is the caller's check. The split is anchored at the
+// LAST 'x' so base names containing 'x' would still parse; composed bases
+// ("case14x2x2") are rejected by the caller's non-composed-base rule.
+struct ComposedName {
+  std::string base;
+  std::size_t copies;
+};
+
+std::optional<ComposedName> parse_composed(const std::string& name) {
+  const std::size_t x = name.rfind('x');
+  if (x == std::string::npos || x == 0 || x + 1 >= name.size())
+    return std::nullopt;
+  std::size_t copies = 0;
+  for (std::size_t i = x + 1; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    copies = copies * 10 + static_cast<std::size_t>(name[i] - '0');
+    if (copies > 1000) return std::nullopt;  // reject absurd tilings
+  }
+  if (copies < 2) return std::nullopt;
+  return ComposedName{name.substr(0, x), copies};
+}
+
 }  // namespace
 
 const CaseRegistry& CaseRegistry::global() {
@@ -57,6 +84,14 @@ const CaseRegistry& CaseRegistry::global() {
          "IEEE 118-bus system, linearized merit-order costs"},
         {"case300", {"ieee300"}, "case300.m", nullptr,
          "300-bus large-scale scenario (slow; see data/case300.m header)"},
+        // Composed mega-grids (no file, no factory): synthesized on load
+        // by grid::compose_cases from the base entry under the default
+        // composition options — any "<base>xN" name works; these two are
+        // the bundled scenarios the slow tests and benches pin.
+        {"case118x9", {}, "", nullptr,
+         "9 tiled IEEE 118-bus copies, 1062 buses (composed; slow)"},
+        {"case300x17", {}, "", nullptr,
+         "17 tiled 300-bus copies, 5100 buses (composed; slow)"},
     };
     return r;
   }();
@@ -104,6 +139,16 @@ bool CaseRegistry::knows(const std::string& name_or_path) const {
     for (const std::string& alias : e.aliases)
       if (alias == name_or_path) return true;
   }
+  // Composed grammar: "<base>xN" for any registered non-composed base.
+  if (const auto composed = parse_composed(name_or_path)) {
+    for (const CaseEntry& e : entries_) {
+      if (!e.file.empty() || e.factory != nullptr) {
+        if (e.name == composed->base) return true;
+        for (const std::string& alias : e.aliases)
+          if (alias == composed->base) return true;
+      }
+    }
+  }
   return false;
 }
 
@@ -125,11 +170,31 @@ grid::PowerSystem CaseRegistry::load(const std::string& name_or_path) const {
       match = match || alias == name_or_path;
     if (!match) continue;
     if (e.factory != nullptr) return e.factory();
-    return load_file(data_dir() + "/" + e.file);
+    if (!e.file.empty()) return load_file(data_dir() + "/" + e.file);
+    break;  // a composed entry: fall through to the grammar below
+  }
+  // Composed grammar "<base>xN": synthesize from the base case under the
+  // default composition options. Deterministic — the name alone pins the
+  // network (grid::kDefaultComposeSeed), so "case118x9" means the same
+  // 1062-bus system in every test, bench, and daemon.
+  if (const auto composed = parse_composed(name_or_path)) {
+    for (const CaseEntry& e : entries_) {
+      if (e.file.empty() && e.factory == nullptr) continue;
+      bool match = e.name == composed->base;
+      for (const std::string& alias : e.aliases)
+        match = match || alias == composed->base;
+      if (!match) continue;
+      grid::ComposeOptions options;
+      options.copies = composed->copies;
+      // Canonical composed name even when the base file's internal name
+      // differs (case14.m says "ieee14") or an alias was used.
+      options.name = e.name + "x" + std::to_string(composed->copies);
+      return grid::compose_cases(load(e.name), options).system;
+    }
   }
   throw CaseIoError("unknown case '" + name_or_path + "' (known: " +
                     joined_names_with_aliases(", ") +
-                    ", or a path to a .m file)");
+                    ", a composed '<case>xN' name, or a path to a .m file)");
 }
 
 grid::PowerSystem load_case(const std::string& name_or_path) {

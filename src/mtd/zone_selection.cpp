@@ -1,0 +1,203 @@
+#include "mtd/zone_selection.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/parallel.hpp"
+#include "grid/measurement.hpp"
+#include "grid/power_flow.hpp"
+#include "mtd/spa.hpp"
+#include "obs/scope.hpp"
+#include "opf/dc_opf.hpp"
+#include "stats/rng.hpp"
+
+namespace mtdgrid::mtd {
+
+namespace {
+
+// One standalone selection on zone z, round `round`. The substream index
+// `round * num_zones + z` is the determinism contract of the header: the
+// same (seed, zone, round) triple always sees the same random starts, no
+// matter which worker runs it or how often other zones were re-solved.
+void solve_zone(const grid::ZoneSystem& zs, std::size_t zone,
+                std::size_t round, std::size_t num_zones,
+                const ZoneSelectionOptions& options, std::uint64_t seed,
+                ZoneSelectionZoneResult& out) {
+  const grid::PowerSystem& zsys = zs.system;
+  const opf::DispatchResult base = opf::solve_dc_opf(zsys);
+  if (!base.feasible)
+    throw std::invalid_argument("zone selection: zone " +
+                                std::to_string(zone) +
+                                " has no feasible no-MTD dispatch");
+  out.zone = zone;
+  out.base_opf_cost = base.cost;
+  out.rounds = round + 1;
+
+  if (zsys.dfacts_branches().empty()) {
+    // Nothing to select: the zone keeps its nominal reactances, which
+    // leave the column space unchanged (gamma = 0).
+    out.result = MtdSelectionResult{};
+    out.result.reactances = zsys.reactances();
+    out.result.dispatch = base;
+    out.result.spa = 0.0;
+    out.result.opf_cost = base.cost;
+    out.result.base_opf_cost = base.cost;
+    out.result.feasible = options.selection.gamma_threshold <= 0.0;
+    return;
+  }
+
+  MtdSelectionOptions sel = options.selection;
+  sel.worker_cache = nullptr;  // per-zone systems differ; never share states
+  sel.extra_starts +=
+      static_cast<int>(round) * options.enlarge_extra_starts;
+  stats::Rng rng = stats::make_stream(seed, round * num_zones + zone);
+  out.result = select_mtd_perturbation(
+      zsys, grid::measurement_matrix(zsys), base.cost, sel, rng);
+  obs::add(obs::Work::kZonesSelected);
+}
+
+// Stitches the per-zone reactances into the full-length vector: local
+// branch l of zone z writes global branch `branch_map[l]`. Tie branches
+// belong to no zone and keep their nominal entries.
+linalg::Vector stitch(const grid::PowerSystem& sys,
+                      const std::vector<grid::ZoneSystem>& zones,
+                      const std::vector<ZoneSelectionZoneResult>& zres) {
+  linalg::Vector x = sys.reactances();
+  for (std::size_t z = 0; z < zones.size(); ++z) {
+    const std::vector<std::size_t>& bmap = zones[z].branch_map;
+    for (std::size_t l = 0; l < bmap.size(); ++l)
+      x[bmap[l]] = zres[z].result.reactances[l];
+  }
+  return x;
+}
+
+}  // namespace
+
+ZoneSelectionResult select_mtd_zones(const grid::PowerSystem& sys,
+                                     const grid::ZonePartition& partition,
+                                     const ZoneSelectionOptions& options,
+                                     std::uint64_t seed,
+                                     core::ThreadPool* pool) {
+  if (partition.num_zones == 0 ||
+      partition.bus_zone.size() != sys.num_buses())
+    throw std::invalid_argument(
+        "zone selection: partition does not describe the system");
+  if (options.max_rounds == 0)
+    throw std::invalid_argument("zone selection: max_rounds must be >= 1");
+  const std::size_t num_zones = partition.num_zones;
+  const double full_th = options.full_gamma_threshold > 0.0
+                             ? options.full_gamma_threshold
+                             : options.selection.gamma_threshold;
+
+  std::vector<grid::ZoneSystem> zones;
+  zones.reserve(num_zones);
+  for (std::size_t z = 0; z < num_zones; ++z)
+    zones.push_back(grid::extract_zone(sys, partition, z));
+
+  // The full-model boundary check: the attacker's matrix is the nominal
+  // full-network H, built sparse (O(L + N) entries) so mega-grid
+  // construction stays tractable; the stitched candidates then ride the
+  // rank-k incremental gamma path.
+  const SpaEvaluator full_eval(sys, grid::sparse_measurement_matrix(sys));
+
+  ZoneSelectionResult result;
+  result.zones.resize(num_zones);
+
+  // Round 0: every zone, in parallel, index-ordered slots.
+  core::parallel_for(
+      num_zones,
+      [&](std::size_t z) {
+        solve_zone(zones[z], z, 0, num_zones, options, seed,
+                   result.zones[z]);
+      },
+      pool);
+
+  const auto full_check = [&](const linalg::Vector& x) {
+    obs::add(obs::Work::kBoundaryRechecks);
+    ++result.boundary_rechecks;
+    return full_eval.gamma(x);
+  };
+  const auto zones_feasible = [&] {
+    return std::all_of(result.zones.begin(), result.zones.end(),
+                       [](const ZoneSelectionZoneResult& zr) {
+                         return zr.result.feasible;
+                       });
+  };
+
+  result.reactances = stitch(sys, zones, result.zones);
+  result.full_spa = full_check(result.reactances);
+  const double tol = options.selection.constraint_tol;
+  bool ok = zones_feasible() && result.full_spa >= full_th - tol;
+
+  // Fallback rounds: re-solve the offending zones — infeasible ones and
+  // those sitting closest to the threshold, where tie coupling can erode
+  // the margin — with an enlarged start portfolio, then re-check the
+  // stitched perturbation on the full model.
+  for (std::size_t round = 1; !ok && round < options.max_rounds; ++round) {
+    std::vector<std::size_t> offenders;
+    for (std::size_t z = 0; z < num_zones; ++z) {
+      const ZoneSelectionZoneResult& zr = result.zones[z];
+      if (!zr.result.feasible || zr.result.spa < full_th + tol)
+        offenders.push_back(z);
+    }
+    if (offenders.empty()) {
+      // Every zone clears the margin yet the coupled model falls short:
+      // enlarge the zone with the smallest achieved angle (first
+      // minimum, so the pick is deterministic).
+      std::size_t worst = 0;
+      for (std::size_t z = 1; z < num_zones; ++z)
+        if (result.zones[z].result.spa < result.zones[worst].result.spa)
+          worst = z;
+      offenders.push_back(worst);
+    }
+    core::parallel_for(
+        offenders.size(),
+        [&](std::size_t i) {
+          const std::size_t z = offenders[i];
+          solve_zone(zones[z], z, round, num_zones, options, seed,
+                     result.zones[z]);
+        },
+        pool);
+    result.reactances = stitch(sys, zones, result.zones);
+    result.full_spa = full_check(result.reactances);
+    ok = zones_feasible() && result.full_spa >= full_th - tol;
+  }
+  result.feasible = ok;
+
+  for (const ZoneSelectionZoneResult& zr : result.zones) {
+    result.opf_cost += zr.result.opf_cost;
+    result.base_opf_cost += zr.base_opf_cost;
+  }
+  result.cost_increase =
+      (result.opf_cost - result.base_opf_cost) / result.base_opf_cost;
+
+  if (options.check_detection) {
+    // Operating point: the stitched per-zone dispatches (each zone
+    // balances its own load, so the full network balances) through the
+    // sparse power flow at the stitched reactances.
+    linalg::Vector generation(sys.num_generators());
+    for (std::size_t z = 0; z < num_zones; ++z) {
+      const std::vector<std::size_t>& gmap = zones[z].gen_map;
+      for (std::size_t g = 0; g < gmap.size(); ++g)
+        generation[gmap[g]] = result.zones[z].result.dispatch.generation_mw[g];
+    }
+    const grid::DcPowerFlowResult pf = grid::solve_dc_power_flow_sparse(
+        sys, result.reactances, grid::nodal_injections(sys, generation));
+    const linalg::Vector z_ref = grid::noiseless_measurements(
+        sys, result.reactances, pf.theta_reduced);
+    // Stream index num_zones * max_rounds is disjoint from every zone
+    // substream (those stay below it), keeping the detection draw
+    // independent of how many fallback rounds actually ran.
+    stats::Rng rng = stats::make_stream(seed, num_zones * options.max_rounds);
+    result.detection = evaluate_effectiveness(
+        grid::measurement_matrix(sys),
+        grid::measurement_matrix(sys, result.reactances), z_ref,
+        options.detection, rng);
+    result.has_detection = true;
+  }
+  return result;
+}
+
+}  // namespace mtdgrid::mtd

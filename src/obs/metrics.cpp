@@ -27,6 +27,12 @@ constexpr WorkInfo kWorkInfo[kWorkCount] = {
      true},
     {"mc_trials", "Monte-Carlo detection trials run", true},
     {"engine_hours", "DailyEngine hours advanced", true},
+    {"zones_selected",
+     "Per-zone MTD selections completed by mtd::select_mtd_zones", true},
+    {"boundary_rechecks",
+     "Full-model boundary effectiveness rechecks in zone-decomposed "
+     "selection",
+     true},
     {"pool_regions", "Parallel regions entered (structural, not "
                      "thread-count invariant)",
      false},

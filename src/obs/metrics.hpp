@@ -33,6 +33,8 @@ enum class Work : std::size_t {
   kSpaFullEvals,             ///< SPA gamma via the full-matrix fallback
   kMcTrials,                 ///< Monte-Carlo detection trials
   kEngineHours,              ///< `mtd::DailyEngine::advance_hour` steps
+  kZonesSelected,            ///< per-zone MTD selections completed
+  kBoundaryRechecks,         ///< zone-selection full-model boundary rechecks
   kPoolRegions,              ///< `core::parallel_*` regions entered
   kPoolTasks,                ///< tasks submitted to those regions
   kCount,                    ///< number of counters (not a counter)

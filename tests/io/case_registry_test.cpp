@@ -18,12 +18,12 @@ TEST(CaseRegistryTest, KnowsEveryBundledCase) {
   const CaseRegistry& reg = CaseRegistry::global();
   for (const char* name :
        {"case4", "wscc9", "case14", "ieee30", "case57", "case118",
-        "case300"})
+        "case300", "case118x9", "case300x17"})
     EXPECT_TRUE(reg.knows(name)) << name;
   for (const char* alias : {"ieee14", "ieee57", "ieee118", "case30"})
     EXPECT_TRUE(reg.knows(alias)) << alias;
   EXPECT_FALSE(reg.knows("case9999"));
-  EXPECT_EQ(reg.names().size(), 7u);
+  EXPECT_EQ(reg.names().size(), 9u);
 }
 
 TEST(CaseRegistryTest, LoadsByNameAndAlias) {
@@ -63,8 +63,8 @@ TEST(CaseRegistryTest, UnknownNameMessagePinned) {
     EXPECT_EQ(std::string(e.what()),
               "unknown case 'bogus' (known: case4 (case4gs), wscc9 (case9), "
               "case14 (ieee14), ieee30 (case30), case57 (ieee57), "
-              "case118 (ieee118), case300 (ieee300), "
-              "or a path to a .m file)");
+              "case118 (ieee118), case300 (ieee300), case118x9, case300x17, "
+              "a composed '<case>xN' name, or a path to a .m file)");
   }
 }
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Deterministically generates data/case300.m.
+"""Deterministically generates synthetic multi-region cases (case300 et al).
 
 The bundled case300 is a *synthetic* 300-bus scenario with IEEE-300-like
 aggregate statistics (300 buses, 411 branches, 69 generators, 23525.85 MW
@@ -10,33 +10,40 @@ note. If you have MATPOWER's case300.m at hand, dropping it into data/
 (after moving the type-3 bus first and adding an mpc.dfacts matrix) is a
 drop-in upgrade — the loader handles the full caseformat.
 
-Topology: three 100-bus regions, each a 20-bus meshed transmission core
-(ring + chords) serving 80 load buses on looped radial spurs; six
-inter-region ties. Loads are log-normally sized and scaled to the exact
-total; 23 merit-order generators per region sit on core buses.
+Topology: --regions regions, each a --core-bus meshed transmission core
+(ring + chords) serving --leaves load buses on looped radial spurs;
+inter-region ties between corresponding core buses. Loads are log-normally
+sized and scaled to the exact --load total; --gens-per-region merit-order
+generators per region sit mostly on core buses. Every parameter defaults
+to the bundled case300 values, and the default invocation reproduces
+data/case300.m byte for byte (the same `random.Random(seed)` draw order
+regardless of which flags are set — the parameterization only moves the
+constants).
+
+This is the *structured* generator (regions grown from scratch); the
+C++ `case_compose` tool / `grid::compose_cases` is the *tiling*
+composer (N jittered copies of an existing case). Both exist because
+the paper's scale story needs networks that are big AND realistic:
+compose for "many interconnected control areas", this script for "one
+big area with transmission/distribution structure".
 
 Usage:
   tools/gen_case300.py > data/case300.m                 # RATE_A = 0 draft
   ./build/case_audit --suggest-limits data/case300.m > limits.txt
   tools/gen_case300.py --limits limits.txt > data/case300.m   # final
 
+  tools/gen_case300.py --regions 5 --seed 500500 > case500.m  # variants
+
 The two-step flow mirrors how case118's RATE_A was sized: limits are
 1.25x the worst D-FACTS-envelope flow (case_audit), with a further 1.2x
 cushion and nice rounding applied here.
 """
 
+import argparse
 import math
 import random
 import sys
 
-NUM_REGIONS = 3
-CORE = 20          # meshed transmission buses per region
-LEAVES = 80        # load buses per region
-CHORDS = 10        # extra core-core lines per region
-LOOPS = 25         # loop-closing lines among leaves per region
-TIES = 6           # inter-region lines
-TOTAL_LOAD_MW = 23525.85
-GENS_PER_REGION = 23
 BASE_MVA = 100.0
 
 
@@ -45,37 +52,63 @@ def nice(mw):
     return step * math.ceil(mw / step)
 
 
-def main():
-    limits_path = None
-    args = sys.argv[1:]
-    if args[:1] == ["--limits"]:
-        if len(args) < 2:
-            print("--limits needs a file argument\n", file=sys.stderr)
-            print(__doc__, file=sys.stderr)
-            return 2
-        limits_path = args[1]
-        args = args[2:]
-    if args:
-        print(__doc__, file=sys.stderr)
-        return 2
+def parse_args(argv):
+    p = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    p.add_argument("--regions", type=int, default=3,
+                   help="number of regions (default 3)")
+    p.add_argument("--core", type=int, default=20,
+                   help="meshed transmission buses per region (default 20)")
+    p.add_argument("--leaves", type=int, default=80,
+                   help="load buses per region (default 80)")
+    p.add_argument("--chords", type=int, default=10,
+                   help="extra core-core lines per region (default 10)")
+    p.add_argument("--loops", type=int, default=25,
+                   help="loop-closing leaf lines per region (default 25)")
+    p.add_argument("--ties", type=int, default=6,
+                   help="inter-region lines (default 6)")
+    p.add_argument("--load", type=float, default=23525.85,
+                   help="total system load in MW (default 23525.85)")
+    p.add_argument("--gens-per-region", type=int, default=23,
+                   help="generators per region (default 23)")
+    p.add_argument("--seed", type=int, default=300300,
+                   help="random.Random seed (default 300300)")
+    p.add_argument("--name", default=None,
+                   help="mpc function name (default case<num_buses>)")
+    p.add_argument("--limits", default=None, metavar="FILE",
+                   help="per-branch RATE_A suggestions from case_audit")
+    args = p.parse_args(argv)
+    if args.regions < 2 or args.core < 8 or args.leaves < 1:
+        p.error("need --regions >= 2, --core >= 8, --leaves >= 1")
+    if args.ties > 2 * args.regions:
+        p.error("at most 2 ties per region pair are generated")
+    if args.gens_per_region < 4 or args.gens_per_region - 3 > args.core:
+        p.error("--gens-per-region must be in [4, core + 3]")
+    return args
 
-    rng = random.Random(300300)
+
+def main(argv=None):
+    a = parse_args(argv)
+    bpr = a.core + a.leaves          # buses per region
+    nbus = a.regions * bpr
+    name = a.name or "case%d" % nbus
+    rng = random.Random(a.seed)
 
     # --- buses -----------------------------------------------------------
-    # Region r occupies buses r*100+1 .. r*100+100 (1-based); the first
-    # CORE of each block are transmission buses, the rest are leaves.
-    loads = [0.0] * 301  # 1-based
+    # Region r occupies buses r*bpr+1 .. r*bpr+bpr (1-based); the first
+    # `core` of each block are transmission buses, the rest are leaves.
+    loads = [0.0] * (nbus + 1)  # 1-based
     raw = {}
-    for r in range(NUM_REGIONS):
-        base = r * 100
-        for i in range(CORE + 1, 101):
+    for r in range(a.regions):
+        base = r * bpr
+        for i in range(a.core + 1, bpr + 1):
             raw[base + i] = math.exp(rng.gauss(3.3, 0.8))
-    scale = TOTAL_LOAD_MW / sum(raw.values())
+    scale = a.load / sum(raw.values())
     for b, v in raw.items():
         loads[b] = round(v * scale, 2)
     # Fix rounding drift on one bus so the total is exact.
-    drift = round(TOTAL_LOAD_MW - sum(loads), 2)
-    loads[100] = round(loads[100] + drift, 2)
+    drift = round(a.load - sum(loads), 2)
+    loads[bpr] = round(loads[bpr] + drift, 2)
 
     # --- branches --------------------------------------------------------
     branches = []  # (from, to, x)
@@ -83,21 +116,21 @@ def main():
     def add(f, t, x):
         branches.append((f, t, round(x, 5)))
 
-    for r in range(NUM_REGIONS):
-        base = r * 100
-        core = [base + i for i in range(1, CORE + 1)]
+    for r in range(a.regions):
+        base = r * bpr
+        core = [base + i for i in range(1, a.core + 1)]
         # Ring.
-        for i in range(CORE):
-            add(core[i], core[(i + 1) % CORE], rng.uniform(0.010, 0.040))
+        for i in range(a.core):
+            add(core[i], core[(i + 1) % a.core], rng.uniform(0.010, 0.040))
         # Chords across the ring.
-        for _ in range(CHORDS):
-            i = rng.randrange(CORE)
-            j = (i + rng.randrange(3, CORE - 3)) % CORE
+        for _ in range(a.chords):
+            i = rng.randrange(a.core)
+            j = (i + rng.randrange(3, a.core - 3)) % a.core
             add(core[min(i, j)], core[max(i, j)],
                 rng.uniform(0.015, 0.060))
         # Leaves: each hangs off a core bus or an already-attached leaf.
         attached = []
-        for i in range(CORE + 1, 101):
+        for i in range(a.core + 1, bpr + 1):
             leaf = base + i
             if attached and rng.random() < 0.35:
                 parent = rng.choice(attached)
@@ -106,81 +139,87 @@ def main():
             add(parent, leaf, rng.uniform(0.05, 0.35))
             attached.append(leaf)
         # Loop closers among leaves.
-        for _ in range(LOOPS):
-            a, b = rng.sample(attached, 2)
-            add(min(a, b), max(a, b), rng.uniform(0.08, 0.40))
+        for _ in range(a.loops):
+            x, y = rng.sample(attached, 2)
+            add(min(x, y), max(x, y), rng.uniform(0.08, 0.40))
 
-    # Inter-region ties between core buses (heavy corridors).
-    tie_pairs = [(1, 101), (11, 111), (101, 201), (111, 211), (201, 1),
-                 (211, 11)]
-    for f, t in tie_pairs[:TIES]:
+    # Inter-region ties between corresponding core buses of consecutive
+    # regions (heavy corridors): two corridors per region pair, anchored
+    # at core bus 1 and the ring's opposite side.
+    opposite = 1 + a.core // 2
+    tie_pairs = [(r * bpr + o, ((r + 1) % a.regions) * bpr + o)
+                 for r in range(a.regions) for o in (1, opposite)]
+    for f, t in tie_pairs[:a.ties]:
         add(f, t, rng.uniform(0.008, 0.020))
 
-    assert len(branches) == NUM_REGIONS * (CORE + CHORDS + LEAVES + LOOPS) \
-        + TIES == 411, len(branches)
+    per_region = a.core + a.chords + a.leaves + a.loops
+    assert len(branches) == a.regions * per_region + a.ties, len(branches)
 
     # --- generators ------------------------------------------------------
-    # 23 units per region on distinct core buses; capacities cover the
-    # regional load with 1.4x headroom, merit-order linear costs.
+    # Units per region on distinct core buses (plus 3 leaves); capacities
+    # cover the regional load with 1.4x headroom, merit-order costs.
     gens = []  # (bus, pmax, cost)
-    for r in range(NUM_REGIONS):
-        base = r * 100
-        region_load = sum(loads[base + i] for i in range(1, 101))
-        weights = [rng.uniform(0.3, 3.0) for _ in range(GENS_PER_REGION)]
+    for r in range(a.regions):
+        base = r * bpr
+        region_load = sum(loads[base + i] for i in range(1, bpr + 1))
+        weights = [rng.uniform(0.3, 3.0) for _ in range(a.gens_per_region)]
         wsum = sum(weights)
-        buses = rng.sample([base + i for i in range(1, CORE + 1)],
-                           GENS_PER_REGION - 3)
-        buses += rng.sample([base + i for i in range(CORE + 1, 101)], 3)
-        for g in range(GENS_PER_REGION):
+        buses = rng.sample([base + i for i in range(1, a.core + 1)],
+                           a.gens_per_region - 3)
+        buses += rng.sample([base + i for i in range(a.core + 1, bpr + 1)], 3)
+        for g in range(a.gens_per_region):
             pmax = round(1.4 * region_load * weights[g] / wsum, 1)
             cost = round(rng.uniform(18.0, 45.0), 1)
             gens.append((buses[g], max(pmax, 20.0), cost))
-    assert len(gens) == 69
+    assert len(gens) == a.regions * a.gens_per_region
 
     # --- D-FACTS ---------------------------------------------------------
-    # Ring openers in each core plus the ties: 15 devices, eta = 0.5.
+    # Ring openers in each core plus the ties, eta = 0.5.
     dfacts = []
-    for r in range(NUM_REGIONS):
-        ring_start = r * (CORE + CHORDS + LEAVES + LOOPS)
-        dfacts += [ring_start + 1, ring_start + 5, ring_start + 11]
-    ties_start = NUM_REGIONS * (CORE + CHORDS + LEAVES + LOOPS)
-    dfacts += [ties_start + i for i in range(1, TIES + 1)]
+    ring_offsets = [o for o in (1, 5, 11) if o <= a.core]
+    for r in range(a.regions):
+        ring_start = r * per_region
+        dfacts += [ring_start + o for o in ring_offsets]
+    ties_start = a.regions * per_region
+    dfacts += [ties_start + i for i in range(1, a.ties + 1)]
 
     # --- limits ----------------------------------------------------------
     rate_a = [0.0] * len(branches)
-    if limits_path:
-        for lineno, line in enumerate(open(limits_path), 1):
+    if a.limits:
+        for lineno, line in enumerate(open(a.limits), 1):
             if line.startswith("%") or not line.strip():
                 continue
             try:
                 idx_s, lim_s = line.split()
                 idx, lim = int(idx_s), float(lim_s)
             except ValueError:
-                sys.exit(f"{limits_path}:{lineno}: expected "
+                sys.exit(f"{a.limits}:{lineno}: expected "
                          f"'<branch> <limit>', got {line!r}")
             if not 1 <= idx <= len(branches):
-                sys.exit(f"{limits_path}:{lineno}: branch index {idx} "
+                sys.exit(f"{a.limits}:{lineno}: branch index {idx} "
                          f"out of range 1..{len(branches)}")
             rate_a[idx - 1] = nice(lim * 1.2)
 
     # --- emit ------------------------------------------------------------
     out = sys.stdout
-    out.write("function mpc = case300\n")
+    out.write("function mpc = %s\n" % name)
     out.write(
-        "% 300-bus large-scale scenario for the mtdgrid DC MTD pipeline.\n"
-        "%\n"
-        "% PROVENANCE: this is a SYNTHETIC network with IEEE-300-like\n"
-        "% aggregate statistics (300 buses, 411 branches, 69 generators,\n"
-        "% 23525.85 MW load), generated deterministically by\n"
-        "% tools/gen_case300.py (seed 300300) because the verified IEEE\n"
-        "% 300-bus tables are not redistributable from this build\n"
-        "% environment. Swap in MATPOWER's case300.m for the real\n"
-        "% topology; the loader accepts the full caseformat.\n"
-        "%\n"
-        "% Structure: 3 regions x (20-bus meshed core + 80 leaf buses on\n"
-        "% looped spurs), 6 inter-region ties, 15 D-FACTS devices.\n"
-        "% RATE_A sized via case_audit --suggest-limits (see the script\n"
-        "% header for the exact two-step flow).\n")
+        "%% %d-bus large-scale scenario for the mtdgrid DC MTD pipeline.\n"
+        "%%\n"
+        "%% PROVENANCE: this is a SYNTHETIC network with IEEE-300-like\n"
+        "%% aggregate statistics (%d buses, %d branches, %d generators,\n"
+        "%% %.2f MW load), generated deterministically by\n"
+        "%% tools/gen_case300.py (seed %d) because the verified IEEE\n"
+        "%% 300-bus tables are not redistributable from this build\n"
+        "%% environment. Swap in MATPOWER's case300.m for the real\n"
+        "%% topology; the loader accepts the full caseformat.\n"
+        "%%\n"
+        "%% Structure: %d regions x (%d-bus meshed core + %d leaf buses on\n"
+        "%% looped spurs), %d inter-region ties, %d D-FACTS devices.\n"
+        "%% RATE_A sized via case_audit --suggest-limits (see the script\n"
+        "%% header for the exact two-step flow).\n"
+        % (nbus, nbus, len(branches), len(gens), a.load, a.seed,
+           a.regions, a.core, a.leaves, a.ties, len(dfacts)))
     out.write("mpc.version = '2';\n\n")
     out.write("mpc.baseMVA = %g;\n\n" % BASE_MVA)
 
@@ -188,7 +227,7 @@ def main():
               "zone Vmax Vmin\n")
     out.write("mpc.bus = [\n")
     gen_buses = {g[0] for g in gens}
-    for b in range(1, 301):
+    for b in range(1, nbus + 1):
         btype = 3 if b == 1 else (2 if b in gen_buses else 1)
         out.write("\t%d\t%d\t%g\t0\t0\t0\t1\t1\t0\t0\t1\t1.06\t0.94;\n"
                   % (b, btype, loads[b]))

@@ -33,6 +33,11 @@ constexpr WorkInfo kWorkInfo[kWorkCount] = {
      "Full-model boundary effectiveness rechecks in zone-decomposed "
      "selection",
      true},
+    {"attacker_probes",
+     "Probe-oracle samples drawn by attack::probe_and_estimate_key", true},
+    {"stale_replays",
+     "Stale-knowledge attacks replayed across a re-keying boundary", true},
+    {"campaign_cells", "Campaign frontier cells completed", true},
     {"pool_regions", "Parallel regions entered (structural, not "
                      "thread-count invariant)",
      false},

@@ -35,6 +35,10 @@ enum class Work : std::size_t {
   kEngineHours,              ///< `mtd::DailyEngine::advance_hour` steps
   kZonesSelected,            ///< per-zone MTD selections completed
   kBoundaryRechecks,         ///< zone-selection full-model boundary rechecks
+  kAttackerProbes,           ///< probe-oracle samples drawn by key estimators
+  kStaleReplays,             ///< stale-knowledge attacks replayed across a
+                             ///< re-keying boundary
+  kCampaignCells,            ///< campaign frontier cells completed
   kPoolRegions,              ///< `core::parallel_*` regions entered
   kPoolTasks,                ///< tasks submitted to those regions
   kCount,                    ///< number of counters (not a counter)

@@ -6,8 +6,12 @@
 #include <utility>
 #include <vector>
 
+#include "attack/adaptive.hpp"
+#include "attack/campaign.hpp"
 #include "estimation/detection.hpp"
+#include "grid/measurement.hpp"
 #include "io/case_registry.hpp"
+#include "mtd/effectiveness.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/scope.hpp"
 #include "obs/trace.hpp"
@@ -20,8 +24,11 @@ namespace {
 // request randomness is rooted at stream_seed(seed, tag), so request
 // streams never collide with the engine's sequential draws and a reply is
 // a pure function of (seed, verb, hour, id) — independent of request
-// interleaving and thread count.
-constexpr std::uint64_t kProbeStreamTag = 0x70726f6265ULL;    // "probe"
+// interleaving and thread count. The probe and campaign tags are shared
+// with the attack layer (attack::kProbeOracleTag /
+// attack::kCampaignStreamTag), so an in-process campaign's probe-based
+// attacker observes exactly the samples a client probing this daemon at
+// the same (seed, hour, id) would receive.
 constexpr std::uint64_t kDetectStreamTag = 0x646574656374ULL; // "detect"
 
 Json vector_json(const linalg::Vector& v) {
@@ -67,8 +74,10 @@ MtdDaemon::MtdDaemon(grid::PowerSystem sys, grid::DailyLoadTrace trace,
                                 options_.daily);
       }()),
       rng_(options_.seed),
-      probe_root_(stats::stream_seed(options_.seed, kProbeStreamTag)),
-      detect_root_(stats::stream_seed(options_.seed, kDetectStreamTag)) {
+      probe_root_(stats::stream_seed(options_.seed, attack::kProbeOracleTag)),
+      detect_root_(stats::stream_seed(options_.seed, kDetectStreamTag)),
+      campaign_root_(
+          stats::stream_seed(options_.seed, attack::kCampaignStreamTag)) {
   if (options_.history_hours == 0) options_.history_hours = 1;
   history_.store(std::make_shared<SnapshotWindow>());
   tick();  // key hour 0: the daemon serves immediately after construction
@@ -172,6 +181,7 @@ DaemonCounters MtdDaemon::counters() const {
   c.probe = counters_.probe.load(std::memory_order_relaxed);
   c.status = counters_.status.load(std::memory_order_relaxed);
   c.metrics = counters_.metrics.load(std::memory_order_relaxed);
+  c.campaign = counters_.campaign.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -185,6 +195,10 @@ bool MtdDaemon::needs_exec_lock(const Request& req) {
       // it through the write lock bounds pool contention per shard. The
       // plain BDD and analytic methods are snapshot-pure and lock-free.
       return req.method == DetectMethod::kMonteCarlo;
+    case Verb::kCampaign:
+      // Fans out on the shared thread pool (one evaluate_effectiveness
+      // per scored hour and policy), like Monte-Carlo detect.
+      return true;
     default:
       return false;
   }
@@ -287,6 +301,7 @@ std::string MtdDaemon::handle_request(const Request& req) {
     case Verb::kStatus: return reply_status(req);
     case Verb::kMetrics: return reply_metrics(req);
     case Verb::kTick: return reply_tick(req);
+    case Verb::kCampaign: return reply_campaign(req);
     case Verb::kShutdown: return reply_shutdown(req);
   }
   return error_line({"internal", "unhandled verb"});
@@ -390,12 +405,11 @@ std::string MtdDaemon::reply_probe(const Request& req) {
   if (!snap->keyed) return not_keyed_reply(snap->hour);
   counters_.probe.fetch_add(1, std::memory_order_relaxed);
   // Attack-free sample on the request's own substream (pure function of
-  // (seed, hour, id)): z = z_ref + sigma * N(0, I).
-  stats::Rng stream = stats::make_stream(
-      stats::stream_seed(probe_root_, snap->hour), req.id);
-  const double sigma = options_.daily.effectiveness.sigma_mw;
-  linalg::Vector z = snap->z_ref;
-  for (std::size_t i = 0; i < z.size(); ++i) z[i] += stream.gaussian() * sigma;
+  // (seed, hour, id)): z = z_ref + sigma * N(0, I). One definition shared
+  // with the attacker-side estimators (attack::probe_measurement).
+  const linalg::Vector z = attack::probe_measurement(
+      snap->z_ref, options_.daily.effectiveness.sigma_mw, probe_root_,
+      snap->hour, req.id);
   const double residual = snap->estimator->normalized_residual_norm(z);
   Json reply;
   reply.set("ok", Json(true));
@@ -473,7 +487,8 @@ std::string MtdDaemon::reply_metrics(const Request& req) {
                       {{{"verb", "detect"}}, c.detect},
                       {{{"verb", "probe"}}, c.probe},
                       {{{"verb", "status"}}, c.status},
-                      {{{"verb", "metrics"}}, c.metrics}});
+                      {{{"verb", "metrics"}}, c.metrics},
+                      {{{"verb", "campaign"}}, c.campaign}});
     obs::render_work_counters(b, work);
     b.gauge("mtdgrid_current_hour", "Current virtual-clock hour",
             static_cast<double>(window()->back()->hour));
@@ -503,6 +518,7 @@ std::string MtdDaemon::reply_metrics(const Request& req) {
   reply.set("probe", Json(c.probe));
   reply.set("status", Json(c.status));
   reply.set("metrics", Json(c.metrics));
+  reply.set("campaign", Json(c.campaign));
   // Engine work counters, deterministic ones only (obs::work_info): for
   // a fixed transcript these are pure functions of (seed, inputs), so
   // default metrics replies stay byte-identical across thread counts —
@@ -546,6 +562,123 @@ std::string MtdDaemon::reply_tick(const Request& req) {
   reply.set("gamma_th", Json(snap->record.gamma_threshold));
   reply.set("eta", Json(snap->record.eta_at_target));
   reply.set("load_mw", Json(snap->record.total_load_mw));
+  return reply.dump();
+}
+
+std::string MtdDaemon::reply_campaign(const Request& req) {
+  const auto win = window();
+  // Scorable boundaries: consecutive keyed snapshot pairs (prev, cur) —
+  // the key retired at cur's re-keying step and the key it adopted.
+  std::vector<std::size_t> pairs;  // indices of `cur` within the window
+  for (std::size_t i = 1; i < win->size(); ++i)
+    if ((*win)[i - 1]->keyed && (*win)[i]->keyed) pairs.push_back(i);
+  if (req.has_hours && pairs.size() > req.hours)
+    pairs.erase(pairs.begin(), pairs.end() - static_cast<std::ptrdiff_t>(
+                                                 req.hours));
+  if (pairs.empty())
+    return error_line(
+        {"not-keyed",
+         "campaign needs two consecutive keyed retained hours (tick "
+         "first)"});
+  counters_.campaign.fetch_add(1, std::memory_order_relaxed);
+
+  static const attack::AttackerPolicy kAll[4] = {
+      attack::AttackerPolicy::kZeroKnowledge,
+      attack::AttackerPolicy::kStaleKey, attack::AttackerPolicy::kProbe,
+      attack::AttackerPolicy::kOmniscient};
+  std::vector<attack::AttackerPolicy> policies;
+  if (req.has_policy) {
+    attack::AttackerPolicy p = attack::AttackerPolicy::kZeroKnowledge;
+    attack::parse_attacker_policy(req.policy, p);  // validated at parse
+    policies.push_back(p);
+  } else {
+    policies.assign(kAll, kAll + 4);
+  }
+
+  // The zero-knowledge matrix: nominal reactances (the engine never
+  // mutates them; ticks only move the loads, which H is independent of).
+  const linalg::Matrix h_nominal =
+      grid::measurement_matrix(engine_.system());
+  const double sigma = options_.daily.effectiveness.sigma_mw;
+  mtd::EffectivenessOptions eff = options_.daily.effectiveness;
+  eff.deltas = {options_.daily.target_delta};
+
+  Json reply;
+  reply.set("ok", Json(true));
+  reply.set("op", Json("campaign"));
+  if (req.has_id) reply.set("id", Json(req.id));
+  reply.set("first_hour", Json((*win)[pairs.front()]->hour));
+  reply.set("last_hour", Json((*win)[pairs.back()]->hour));
+  reply.set("hours_scored", Json(pairs.size()));
+  Json hours_json{Json::Array{}};
+  for (const std::size_t i : pairs)
+    hours_json.push_back(Json((*win)[i]->hour));
+  reply.set("hours", std::move(hours_json));
+
+  const std::uint64_t request_root =
+      stats::stream_seed(campaign_root_, req.id);
+  Json out_policies{Json::Array{}};
+  for (const attack::AttackerPolicy policy : policies) {
+    Json cell;
+    cell.set("policy", Json(attack::attacker_policy_name(policy)));
+    if (policy == attack::AttackerPolicy::kProbe)
+      cell.set("probe_budget", Json(req.probes));
+    double detection_sum = 0.0;
+    double eta_sum = 0.0;
+    std::uint64_t probes_used = 0;
+    std::uint64_t boundary_replays = 0;
+    Json hourly_detection{Json::Array{}};
+    Json hourly_eta{Json::Array{}};
+    // Substream keyed by (policy, hour), not by evaluation order: a
+    // single-policy reply matches that policy's section of the
+    // all-policies reply for the same id and window.
+    const std::uint64_t policy_root = stats::stream_seed(
+        request_root, static_cast<std::uint64_t>(policy));
+    for (const std::size_t i : pairs) {
+      const HourKeySnapshot& prev = *(*win)[i - 1];
+      const HourKeySnapshot& cur = *(*win)[i];
+      attack::KeyEstimate estimate;  // keeps the probe H alive
+      const linalg::Matrix* h_attacker = &h_nominal;
+      switch (policy) {
+        case attack::AttackerPolicy::kZeroKnowledge:
+          break;
+        case attack::AttackerPolicy::kStaleKey:
+          h_attacker = &prev.estimator->h();
+          ++boundary_replays;
+          obs::add(obs::Work::kStaleReplays);
+          break;
+        case attack::AttackerPolicy::kProbe:
+          estimate = attack::probe_and_estimate_key(
+              engine_.system(), cur.z_ref, sigma, probe_root_, cur.hour,
+              req.probes);
+          h_attacker = &estimate.h;
+          probes_used += static_cast<std::uint64_t>(req.probes);
+          break;
+        case attack::AttackerPolicy::kOmniscient:
+          h_attacker = &cur.estimator->h();
+          break;
+        case attack::AttackerPolicy::kRamp:
+          break;  // unreachable: not a wire policy (parse rejects it)
+      }
+      stats::Rng rng = stats::make_stream(policy_root, cur.hour);
+      const mtd::EffectivenessResult er = mtd::evaluate_effectiveness(
+          *h_attacker, cur.estimator->h(), cur.z_ref, eff, rng);
+      detection_sum += er.mean_detection;
+      eta_sum += er.eta[0];
+      hourly_detection.push_back(Json(er.mean_detection));
+      hourly_eta.push_back(Json(er.eta[0]));
+    }
+    const double n = static_cast<double>(pairs.size());
+    cell.set("mean_detection", Json(detection_sum / n));
+    cell.set("eta", Json(eta_sum / n));
+    cell.set("probes_used", Json(probes_used));
+    cell.set("boundary_replays", Json(boundary_replays));
+    cell.set("hourly_mean_detection", std::move(hourly_detection));
+    cell.set("hourly_eta", std::move(hourly_eta));
+    obs::add(obs::Work::kCampaignCells);
+    out_policies.push_back(std::move(cell));
+  }
+  reply.set("policies", std::move(out_policies));
   return reply.dump();
 }
 

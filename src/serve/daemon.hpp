@@ -87,6 +87,7 @@ struct DaemonCounters {
   std::uint64_t probe = 0;      ///< probe requests served
   std::uint64_t status = 0;     ///< status requests served
   std::uint64_t metrics = 0;    ///< metrics requests served
+  std::uint64_t campaign = 0;   ///< campaign requests served
 };
 
 /// The long-running MTD serving core (ROADMAP "Serving"): owns a loaded
@@ -94,7 +95,8 @@ struct DaemonCounters {
 /// load trace one re-keying step per `tick()`, and answers the
 /// newline-delimited-JSON requests documented in DESIGN.md "Serving
 /// architecture" — `dispatch`, `detect`, `probe`, `status`, `metrics`,
-/// `tick`, `shutdown`. `examples/mtd_daemon` serves `handle_line` over a
+/// `tick`, `campaign`, `shutdown`. `examples/mtd_daemon` serves
+/// `handle_line` over a
 /// loopback socket (`serve::SocketServer`); tests and benchmarks call it
 /// in-process — one code path either way. A `ShardedDaemon` routes to N
 /// of these, one per shard.
@@ -105,9 +107,9 @@ struct DaemonCounters {
 /// lock at all: they atomically load the published retention window of
 /// immutable `HourKeySnapshot`s and answer from it, so reads scale with
 /// cores and keep answering while a tick holds the write lock. Write
-/// verbs — `tick`, `dispatch` — and the Monte-Carlo `detect` method
-/// (which fans out on the shared `core::ThreadPool`) serialize on the
-/// per-daemon `exec_lock()`. Counters are relaxed atomics; for a fixed
+/// verbs — `tick`, `dispatch` — plus the Monte-Carlo `detect` method and
+/// `campaign` (which fan out on the shared `core::ThreadPool`) serialize
+/// on the per-daemon `exec_lock()`. Counters are relaxed atomics; for a fixed
 /// sequential transcript they remain a pure function of that transcript.
 /// All randomness is derived from counter-based substreams of
 /// `DaemonOptions::seed` — replies are bit-identical for any thread
@@ -228,6 +230,7 @@ class MtdDaemon : public LineService {
   std::string reply_status(const Request& req);
   std::string reply_metrics(const Request& req);
   std::string reply_tick(const Request& req);
+  std::string reply_campaign(const Request& req);
   std::string reply_shutdown(const Request& req);
   std::size_t tick_locked();
   /// The current retention window (never null, never empty after
@@ -251,6 +254,7 @@ class MtdDaemon : public LineService {
   stats::Rng rng_;                 // the engine's sequential rng
   std::uint64_t probe_root_ = 0;   // substream family of `probe`
   std::uint64_t detect_root_ = 0;  // substream family of mc `detect`
+  std::uint64_t campaign_root_ = 0;  // substream family of `campaign`
 
   /// Serializes the write verbs (`tick`, `dispatch`, Monte-Carlo
   /// `detect`); never touched by the lock-free read path.
@@ -269,6 +273,7 @@ class MtdDaemon : public LineService {
     std::atomic<std::uint64_t> probe{0};     ///< probe served
     std::atomic<std::uint64_t> status{0};    ///< status served
     std::atomic<std::uint64_t> metrics{0};   ///< metrics served
+    std::atomic<std::uint64_t> campaign{0};  ///< campaign served
   };
   AtomicCounters counters_;
 

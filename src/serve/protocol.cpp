@@ -31,6 +31,7 @@ const char* verb_name(Verb verb) {
     case Verb::kStatus: return "status";
     case Verb::kMetrics: return "metrics";
     case Verb::kTick: return "tick";
+    case Verb::kCampaign: return "campaign";
     case Verb::kShutdown: return "shutdown";
   }
   return "?";
@@ -78,6 +79,8 @@ ParseOutcome parse_request(const Json& doc) {
     req.verb = Verb::kMetrics;
   else if (name == "tick")
     req.verb = Verb::kTick;
+  else if (name == "campaign")
+    req.verb = Verb::kCampaign;
   else if (name == "shutdown")
     req.verb = Verb::kShutdown;
   else
@@ -127,6 +130,30 @@ ParseOutcome parse_request(const Json& doc) {
     if (!as_nonneg_integer(*trials, t) || t < 1 || t > 1000000)
       return bad_request("\"trials\" must be an integer in [1, 1000000]");
     req.trials = static_cast<int>(t);
+  }
+  if (const Json* policy = doc.find("policy"); policy != nullptr) {
+    if (!policy->is_string() ||
+        (policy->as_string() != "zero" && policy->as_string() != "stale" &&
+         policy->as_string() != "probe" &&
+         policy->as_string() != "omniscient"))
+      return bad_request(
+          "\"policy\" must be \"zero\", \"stale\", \"probe\" or "
+          "\"omniscient\"");
+    req.has_policy = true;
+    req.policy = policy->as_string();
+  }
+  if (const Json* probes = doc.find("probes"); probes != nullptr) {
+    std::uint64_t p = 0;
+    if (!as_nonneg_integer(*probes, p) || p < 1 || p > 10000)
+      return bad_request("\"probes\" must be an integer in [1, 10000]");
+    req.probes = static_cast<int>(p);
+  }
+  if (const Json* hours = doc.find("hours"); hours != nullptr) {
+    std::uint64_t h = 0;
+    if (!as_nonneg_integer(*hours, h) || h < 1)
+      return bad_request("\"hours\" must be a positive integer");
+    req.has_hours = true;
+    req.hours = static_cast<std::size_t>(h);
   }
   if (const Json* latency = doc.find("latency"); latency != nullptr) {
     if (!latency->is_bool())

@@ -27,6 +27,7 @@ enum class Verb {
   kStatus,    ///< hour, key parameters, retention window
   kMetrics,   ///< request counters (+ latency histogram on demand)
   kTick,      ///< advance the virtual clock one hour (re-key)
+  kCampaign,  ///< adaptive-adversary sweep over the retained key window
   kShutdown,  ///< stop serving after this reply
 };
 
@@ -43,8 +44,13 @@ enum class DetectMethod {
 /// request's RNG substream; `hour` pins the virtual-clock hour served
 /// (default: current); `z` is the measurement vector for `detect`
 /// (default: the hour's noiseless reference); `trials` sizes the
-/// Monte-Carlo method; `include_latency` asks `metrics` for the (non-
-/// deterministic) latency histogram; `trace` opts the request into
+/// Monte-Carlo method; `policy` restricts `campaign` to one attacker
+/// policy ("zero", "stale", "probe", "omniscient"; default: all four);
+/// `probes` is `campaign`'s probe-oracle budget per scored hour;
+/// `hours` caps how many retained re-keying boundaries `campaign`
+/// scores (default: every retained pair); `include_latency` asks
+/// `metrics` for the (non-deterministic) latency histogram; `trace`
+/// opts the request into
 /// wall-clock span capture (reply gains a `trace_us` section — opt-in
 /// for the same reason as `latency`); `prometheus_format` asks
 /// `metrics` for the Prometheus text exposition instead of the JSON
@@ -61,6 +67,11 @@ struct Request {
   linalg::Vector z;               ///< submitted measurement vector (MW)
   DetectMethod method = DetectMethod::kBdd;  ///< detect scoring method
   int trials = 400;               ///< Monte-Carlo noise draws
+  bool has_policy = false;        ///< true when the line carried "policy"
+  std::string policy;             ///< campaign attacker policy name
+  int probes = 8;                 ///< campaign probe-oracle budget
+  bool has_hours = false;         ///< true when the line carried "hours"
+  std::size_t hours = 0;          ///< campaign boundary-pair cap
   bool include_latency = false;   ///< metrics: include latency histogram
   bool trace = false;             ///< capture wall-clock spans (opt-in)
   bool prometheus_format = false; ///< metrics: Prometheus text exposition

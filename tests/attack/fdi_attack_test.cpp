@@ -125,6 +125,21 @@ TEST(FdiAttackTest, SharedSubspaceAttackSurvivesPerturbation) {
   EXPECT_TRUE(remains_stealthy_under(h_new, atk));
 }
 
+TEST(FdiAttackTest, ZeroDeviationAttackIsDegenerateAndAlwaysStealthy) {
+  // Edge case: c = 0 gives a = H*0 = 0 — the "attack" changes nothing,
+  // so it trivially survives every re-keying. The residual machinery
+  // must not divide by ||a|| or flag it.
+  const linalg::Matrix h = ieee14_h();
+  const FdiAttack atk = make_stealthy_attack(h, linalg::Vector(h.cols()));
+  EXPECT_EQ(atk.a.norm1(), 0.0);
+
+  const grid::PowerSystem sys = grid::make_case_ieee14();
+  linalg::Vector x = sys.reactances();
+  for (std::size_t l : sys.dfacts_branches()) x[l] *= 1.4;
+  EXPECT_TRUE(remains_stealthy_under(grid::measurement_matrix(sys, x), atk));
+  EXPECT_TRUE(remains_stealthy_under(h, atk));
+}
+
 TEST(FdiAttackTest, RejectsBadArguments) {
   const linalg::Matrix h = ieee14_h();
   stats::Rng rng(8);

@@ -69,6 +69,24 @@ TEST(AttackImpactTest, DiscussionComparisonMtdPremiumVsAttackDamage) {
   EXPECT_GT(worst_damage_pct, 5.0);
 }
 
+TEST(AttackImpactTest, InfeasibleTargetStateIsReportedNotCrashed) {
+  // Edge case: an absurd state offset implies falsified loads the fleet
+  // cannot serve. The evaluator must report redispatch_feasible = false
+  // with zeroed damage fields instead of throwing or returning garbage.
+  const grid::PowerSystem sys = grid::make_case_ieee14();
+  linalg::Vector c(sys.num_buses() - 1);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    c[i] = (i % 2 == 0) ? 50.0 : -50.0;  // wildly implausible phase shifts
+  const AttackImpact impact =
+      evaluate_attack_impact(sys, sys.reactances(), c);
+  EXPECT_FALSE(impact.redispatch_feasible);
+  EXPECT_GE(impact.true_opf_cost, 0.0);
+  EXPECT_EQ(impact.attacked_cost, 0.0);
+  EXPECT_EQ(impact.cost_increase, 0.0);
+  EXPECT_EQ(impact.worst_overload_pct, 0.0);
+  EXPECT_EQ(impact.overloaded_lines, 0u);
+}
+
 TEST(AttackImpactTest, WorksAcrossCases) {
   stats::Rng rng(5);
   for (const grid::PowerSystem& sys :

@@ -32,6 +32,7 @@ TEST(ServeDaemonDeterminismTest, TranscriptsAreByteIdenticalAcrossThreads) {
       R"({"op":"status"})",
       R"({"op":"dispatch","hour":1})",
       R"({"op":"detect","id":5,"hour":0,"method":"mc","trials":100})",
+      R"({"op":"campaign","id":6,"probes":4})",
       R"({"op":"metrics"})",
   };
   const auto transcript_at = [&](std::size_t threads) {

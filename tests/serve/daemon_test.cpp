@@ -84,6 +84,12 @@ TEST_F(ServeDaemonTest, MalformedLinesGetPinnedRepliesAndSessionSurvives) {
        R"x({"ok":false,"error":"bad-request","message":"\"trace\" must be a boolean"})x"},
       {R"({"op":"metrics","format":"xml"})",
        R"x({"ok":false,"error":"bad-request","message":"\"format\" must be \"json\" or \"prometheus\""})x"},
+      {R"({"op":"campaign","policy":"ramp"})",
+       R"x({"ok":false,"error":"bad-request","message":"\"policy\" must be \"zero\", \"stale\", \"probe\" or \"omniscient\""})x"},
+      {R"({"op":"campaign","probes":0})",
+       R"x({"ok":false,"error":"bad-request","message":"\"probes\" must be an integer in [1, 10000]"})x"},
+      {R"({"op":"campaign","hours":0})",
+       R"x({"ok":false,"error":"bad-request","message":"\"hours\" must be a positive integer"})x"},
   };
   for (const auto& [line, want] : cases)
     EXPECT_EQ(daemon_->handle_line(line), want) << line;
@@ -313,6 +319,80 @@ TEST(ServeDaemonLatencyTest, InjectedSamplesPinExactBucketCounts) {
   EXPECT_EQ(buckets->find("le_100ms")->as_number(), 1.0);  // 1e5
   EXPECT_EQ(buckets->find("le_1s")->as_number(), 1.0);     // 1e6
   EXPECT_EQ(buckets->find("gt_1s")->as_number(), 1.0);     // 2e6
+}
+
+TEST_F(ServeDaemonTest, CampaignNeedsTwoKeyedHours) {
+  // The fixture never ticks: only hour 0 is retained, so there is no
+  // (prev, cur) re-keying boundary to score. Pinned error, not a crash.
+  EXPECT_EQ(
+      daemon_->handle_line(R"({"op":"campaign"})"),
+      R"x({"ok":false,"error":"not-keyed","message":"campaign needs two consecutive keyed retained hours (tick first)"})x");
+}
+
+TEST(ServeDaemonLifecycleTest, CampaignScoresKnowledgeFrontierOverWindow) {
+  const std::unique_ptr<MtdDaemon> daemon = test::make_fast_daemon();
+  for (int i = 0; i < 2; ++i)
+    ASSERT_TRUE(Json::parse(daemon->handle_line(R"({"op":"tick"})"))
+                    .find("ok")
+                    ->as_bool());
+
+  // Same (seed, window, id) => same bytes, regardless of what ran in
+  // between: the campaign substream is keyed by (id, policy, hour).
+  const std::string first =
+      daemon->handle_line(R"({"op":"campaign","id":1})");
+  daemon->handle_line(R"({"op":"probe","id":5})");
+  EXPECT_EQ(daemon->handle_line(R"({"op":"campaign","id":1})"), first);
+
+  const Json reply = Json::parse(first);
+  ASSERT_TRUE(reply.find("ok")->as_bool());
+  EXPECT_EQ(reply.find("op")->as_string(), "campaign");
+  EXPECT_EQ(reply.find("hours_scored")->as_number(), 2.0);
+  EXPECT_EQ(reply.find("first_hour")->as_number(), 1.0);
+  EXPECT_EQ(reply.find("last_hour")->as_number(), 2.0);
+
+  // Default panel: all four wire policies, fixed order, and the
+  // knowledge axis is monotone — more knowledge, less detection.
+  const Json::Array& policies = reply.find("policies")->as_array();
+  ASSERT_EQ(policies.size(), 4u);
+  EXPECT_EQ(policies[0].find("policy")->as_string(), "zero");
+  EXPECT_EQ(policies[1].find("policy")->as_string(), "stale");
+  EXPECT_EQ(policies[2].find("policy")->as_string(), "probe");
+  EXPECT_EQ(policies[2].find("probe_budget")->as_number(), 8.0);
+  EXPECT_EQ(policies[3].find("policy")->as_string(), "omniscient");
+  const double zero = policies[0].find("mean_detection")->as_number();
+  const double omni = policies[3].find("mean_detection")->as_number();
+  EXPECT_GT(zero, 0.5);
+  EXPECT_LT(omni, 0.05);
+  EXPECT_LT(omni, zero);
+  EXPECT_EQ(policies[3].find("eta")->as_number(), 0.0);  // evasion baseline
+  EXPECT_EQ(policies[2].find("probes_used")->as_number(), 16.0);  // 8 x 2
+  EXPECT_EQ(policies[1].find("boundary_replays")->as_number(), 2.0);
+  for (const Json& cell : policies) {
+    EXPECT_EQ(cell.find("hourly_mean_detection")->as_array().size(), 2u);
+    EXPECT_EQ(cell.find("hourly_eta")->as_array().size(), 2u);
+  }
+
+  // A single-policy request reproduces that policy's section of the
+  // all-policies reply exactly (same id, same window, same substream).
+  const Json probe_only = Json::parse(daemon->handle_line(
+      R"({"op":"campaign","id":1,"policy":"probe","probes":8})"));
+  const Json::Array& only = probe_only.find("policies")->as_array();
+  ASSERT_EQ(only.size(), 1u);
+  EXPECT_EQ(only[0].find("mean_detection")->as_number(),
+            policies[2].find("mean_detection")->as_number());
+  EXPECT_EQ(only[0].find("eta")->as_number(),
+            policies[2].find("eta")->as_number());
+
+  // "hours":1 trims to the most recent boundary.
+  const Json last_only = Json::parse(
+      daemon->handle_line(R"({"op":"campaign","id":1,"hours":1})"));
+  EXPECT_EQ(last_only.find("hours_scored")->as_number(), 1.0);
+  EXPECT_EQ(last_only.find("first_hour")->as_number(), 2.0);
+
+  // The verb shows up in the deterministic metrics counters.
+  const Json metrics =
+      Json::parse(daemon->handle_line(R"({"op":"metrics"})"));
+  EXPECT_EQ(metrics.find("campaign")->as_number(), 4.0);
 }
 
 TEST(ServeDaemonLifecycleTest, TickRetainsHistoryAndPinsHours) {
